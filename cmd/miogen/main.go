@@ -1,0 +1,146 @@
+// Command miogen generates the stand-in datasets used throughout the
+// repository and writes them to disk in the text or binary format.
+//
+// Usage:
+//
+//	miogen -dataset neuron -n 500 -m 800 -out neuron.bin
+//	miogen -dataset all -scale 0.5 -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mio/internal/data"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "all", "dataset to generate: neuron, neuron2, bird, bird2, syn, uniform or all")
+		n       = flag.Int("n", 0, "override object count (0 = dataset default)")
+		m       = flag.Int("m", 0, "override points per object (0 = dataset default)")
+		seed    = flag.Int64("seed", 0, "override RNG seed (0 = dataset default)")
+		scale   = flag.Float64("scale", 1.0, "scale factor applied to default object counts")
+		out     = flag.String("out", "", "output file (single dataset; .txt = text, else binary)")
+		dir     = flag.String("dir", ".", "output directory (-dataset all)")
+		times   = flag.Bool("timestamps", false, "attach synthetic generation times for the temporal variant")
+	)
+	flag.Parse()
+
+	if *dataset == "all" {
+		if *out != "" {
+			fatal("use -dir, not -out, with -dataset all")
+		}
+		for name, ds := range data.Standard(*scale) {
+			if *times {
+				ds = data.WithTimestamps(ds, 1.0, 100, 99)
+			}
+			path := filepath.Join(*dir, strings.ToLower(name)+".bin")
+			if err := data.SaveFile(path, ds); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %-24s %s\n", path, ds.Summary())
+		}
+		return
+	}
+
+	ds, err := generate(*dataset, *n, *m, *seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *times {
+		ds = data.WithTimestamps(ds, 1.0, 100, 99)
+	}
+	path := *out
+	if path == "" {
+		path = *dataset + ".bin"
+	}
+	if err := data.SaveFile(path, ds); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s  %s\n", path, ds.Summary())
+}
+
+func generate(name string, n, m int, seed int64, scale float64) (*data.Dataset, error) {
+	applyN := func(def int) int {
+		if n > 0 {
+			return n
+		}
+		v := int(float64(def) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	switch name {
+	case "neuron":
+		cfg := data.DefaultNeuron()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenNeuron(cfg), nil
+	case "neuron2":
+		cfg := data.DefaultNeuron2()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenNeuron(cfg), nil
+	case "bird":
+		cfg := data.DefaultBird()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenTrajectory(cfg), nil
+	case "bird2":
+		cfg := data.DefaultBird2()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenTrajectory(cfg), nil
+	case "syn":
+		cfg := data.DefaultSyn()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenPowerLaw(cfg), nil
+	case "uniform":
+		cfg := data.UniformConfig{N: applyN(1000), M: 10, FieldSize: 1000, Spread: 10, Seed: 1}
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenUniform(cfg), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "miogen:", v)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package mio finds the Most Interactive Object in a spatial dataset.
+//
+// An object is a set of 3-D (or planar) points — a neuron arbor, an
+// animal trajectory, a point-cloud — and two objects with threshold r
+// "interact" when some pair of their points lies within Euclidean
+// distance r. An MIO query returns the object interacting with the most
+// other objects; the top-k variant returns the k best. The
+// implementation reproduces "Identifying the Most Interactive Object in
+// Spatial Databases" (Amagata & Hara, ICDE 2019): the BIGrid index — a
+// hybrid of compressed bitsets, inverted lists and two spatial grids,
+// built online per query — drives a filter-and-verify pipeline whose
+// lower and upper bounds need no distance computations at all, a
+// labeling scheme recycles work across queries that share ⌈r⌉, and
+// every phase parallelises across cores with cost-based load balancing.
+//
+// Quick start:
+//
+//	ds, _ := mio.LoadDataset("birds.txt")
+//	eng, _ := mio.NewEngine(ds, mio.WithWorkers(8), mio.WithLabels())
+//	res, _ := eng.Query(4.0) // distance threshold in dataset units
+//	fmt.Println(res.Best.Obj, res.Best.Score)
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the architecture and the paper-experiment index.
+package mio

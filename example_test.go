@@ -1,0 +1,91 @@
+package mio_test
+
+import (
+	"fmt"
+
+	"mio"
+)
+
+// ExampleEngine_Query runs one MIO query over a hand-made dataset.
+func ExampleEngine_Query() {
+	ds, _ := mio.NewDataset("demo", [][]mio.Point{
+		{mio.Pt(0, 0, 0), mio.Pt(1, 0, 0)}, // object 0
+		{mio.Pt(1.5, 0, 0)},                // object 1: within 1 of object 0
+		{mio.Pt(2.4, 0, 0)},                // object 2: within 1 of object 1
+		{mio.Pt(50, 50, 0)},                // object 3: isolated
+	})
+	eng, _ := mio.NewEngine(ds)
+	res, _ := eng.Query(1.0)
+	fmt.Printf("object %d, score %d\n", res.Best.Obj, res.Best.Score)
+	// Output: object 1, score 2
+}
+
+// ExampleEngine_QueryTopK returns the k best objects.
+func ExampleEngine_QueryTopK() {
+	ds, _ := mio.NewDataset("demo", [][]mio.Point{
+		{mio.Pt(0, 0, 0)},
+		{mio.Pt(0.5, 0, 0)},
+		{mio.Pt(1.0, 0, 0)},
+		{mio.Pt(9, 9, 9)},
+	})
+	eng, _ := mio.NewEngine(ds)
+	res, _ := eng.QueryTopK(0.6, 2)
+	for _, s := range res.TopK {
+		fmt.Printf("object %d: %d\n", s.Obj, s.Score)
+	}
+	// Output:
+	// object 1: 2
+	// object 0: 1
+}
+
+// ExampleEngine_InteractingSet extracts the objects interacting with a
+// given object — the follower set of a trajectory leader, the synaptic
+// partners of a neuron.
+func ExampleEngine_InteractingSet() {
+	ds, _ := mio.NewDataset("demo", [][]mio.Point{
+		{mio.Pt(0, 0, 0)},
+		{mio.Pt(1, 0, 0)},
+		{mio.Pt(0, 1, 0)},
+		{mio.Pt(10, 10, 10)},
+	})
+	eng, _ := mio.NewEngine(ds)
+	set, _ := eng.InteractingSet(1.0, 0)
+	fmt.Println(set)
+	// Output: [1 2]
+}
+
+// ExampleEngine_Sweep shows the threshold-sweep workload the labeling
+// scheme accelerates: queries sharing ⌈r⌉ reuse labels automatically.
+func ExampleEngine_Sweep() {
+	ds, _ := mio.NewDataset("demo", [][]mio.Point{
+		{mio.Pt(0, 0, 0)},
+		{mio.Pt(2, 0, 0)},
+		{mio.Pt(4.5, 0, 0)},
+	})
+	eng, _ := mio.NewEngine(ds, mio.WithLabels())
+	sweep, _ := eng.Sweep([]float64{1.5, 2.0, 2.5}, 1)
+	for _, sr := range sweep {
+		fmt.Printf("r=%.1f best=%d score=%d labels=%v\n",
+			sr.R, sr.Result.Best.Obj, sr.Result.Best.Score, sr.Result.Stats.UsedLabels)
+	}
+	// Ties (several objects share the top score) are broken arbitrarily,
+	// as Definition 1 allows.
+	// Output:
+	// r=1.5 best=1 score=0 labels=false
+	// r=2.0 best=1 score=1 labels=true
+	// r=2.5 best=1 score=2 labels=false
+}
+
+// ExampleNewTemporalEngine answers the spatio-temporal variant: points
+// must be close in space and generated within δ of each other.
+func ExampleNewTemporalEngine() {
+	ds := &mio.Dataset{Objects: []mio.Object{
+		{ID: 0, Pts: []mio.Point{mio.Pt(0, 0, 0)}, Times: []float64{0}},
+		{ID: 1, Pts: []mio.Point{mio.Pt(1, 0, 0)}, Times: []float64{3}},
+		{ID: 2, Pts: []mio.Point{mio.Pt(0.5, 0, 0)}, Times: []float64{100}},
+	}}
+	eng, _ := mio.NewTemporalEngine(ds)
+	res, _ := eng.Query(2.0, 5.0) // r=2, δ=5
+	fmt.Printf("object %d, score %d\n", res.Best.Obj, res.Best.Score)
+	// Output: object 0, score 1
+}

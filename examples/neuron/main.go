@@ -1,0 +1,47 @@
+// Neuron-hub analysis (Example 1 of the paper): sweep the synapse
+// proximity threshold r over a neuron dataset and identify the hub
+// neuron at each r. Thresholds are fine-grained, so the label store
+// turns every query after the first within the same ⌈r⌉ into a much
+// cheaper one — exactly the workload §III-D targets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mio"
+)
+
+func main() {
+	cfg := mio.DefaultNeuronConfig()
+	cfg.N = 250
+	ds := mio.GenerateNeuron(cfg)
+	fmt.Printf("dataset: %d neurons, avg %.0f points each\n", ds.N(), ds.AvgPoints())
+
+	eng, err := mio.NewEngine(ds, mio.WithLabels())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fine-grained sweep: 4.0, 4.25, ... 5.0 µm all share ⌈r⌉ = 5, so
+	// the first query labels points and the rest reuse the labels.
+	for r := 4.0; r <= 5.01; r += 0.25 {
+		res, err := eng.Query(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reused := ""
+		if res.Stats.UsedLabels {
+			reused = "  [labels reused]"
+		}
+		fmt.Printf("r=%.2fµm: hub neuron %3d connects to %3d neurons  (%8v)%s\n",
+			r, res.Best.Obj, res.Best.Score, res.Stats.Total().Round(10_000), reused)
+	}
+
+	// Inspect the hub at the largest threshold: which fraction of the
+	// population does it reach?
+	res, _ := eng.Query(5.0)
+	frac := float64(res.Best.Score) / float64(ds.N()-1)
+	fmt.Printf("\nhub neuron %d reaches %.0f%% of the population at r=5µm\n",
+		res.Best.Obj, 100*frac)
+}

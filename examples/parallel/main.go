@@ -1,0 +1,67 @@
+// Multi-core scaling (§IV of the paper): run the same query with 1, 2,
+// 4, ... cores and compare the partitioning strategies. The cost-based
+// defaults (LB-greedy-d, UB-greedy-p) scale; the alternatives exist to
+// show why load balancing needs a cost model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"mio"
+)
+
+func main() {
+	cfg := mio.DefaultNeuronConfig()
+	cfg.N = 300
+	ds := mio.GenerateNeuron(cfg)
+	fmt.Printf("dataset: %d neurons, %d points total, %d CPUs available\n",
+		ds.N(), ds.TotalPoints(), runtime.GOMAXPROCS(0))
+
+	const r = 4.0
+	run := func(opts ...mio.Option) time.Duration {
+		eng, err := mio.NewEngine(ds, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := eng.Query(r); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	base := run()
+	fmt.Printf("\n%-28s %10v  speedup\n", "single core", base.Round(time.Millisecond))
+
+	for _, w := range []int{2, 4, 8} {
+		if w > runtime.GOMAXPROCS(0) {
+			break
+		}
+		d := run(mio.WithWorkers(w))
+		fmt.Printf("%-28s %10v  %.2fx\n",
+			fmt.Sprintf("%d cores (default strategy)", w), d.Round(time.Millisecond),
+			float64(base)/float64(d))
+	}
+
+	// Strategy comparison at the highest core count (Fig. 8's setup).
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	fmt.Printf("\nstrategy comparison at %d cores:\n", w)
+	type combo struct {
+		name string
+		opts []mio.Option
+	}
+	for _, c := range []combo{
+		{"LB-greedy-d + UB-greedy-p", []mio.Option{mio.WithWorkers(w)}},
+		{"LB-hash-p   + UB-greedy-p", []mio.Option{mio.WithWorkers(w), mio.WithLBStrategy(mio.LBHashP)}},
+		{"LB-greedy-d + UB-greedy-d", []mio.Option{mio.WithWorkers(w), mio.WithUBStrategy(mio.UBGreedyD)}},
+	} {
+		d := run(c.opts...)
+		fmt.Printf("  %-26s %10v\n", c.name, d.Round(time.Millisecond))
+	}
+}

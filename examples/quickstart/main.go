@@ -1,0 +1,50 @@
+// Quickstart: build a tiny dataset by hand, run one MIO query and one
+// top-k query, and read the result fields.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mio"
+)
+
+func main() {
+	// Three "objects", each a set of points. Objects 0 and 1 pass close
+	// to each other; object 2 is off on its own.
+	ds, err := mio.NewDataset("quickstart", [][]mio.Point{
+		{mio.Pt(0, 0, 0), mio.Pt(1, 0, 0), mio.Pt(2, 0, 0)},
+		{mio.Pt(2.5, 0.5, 0), mio.Pt(3.5, 0.5, 0)},
+		{mio.Pt(100, 100, 0)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := mio.NewEngine(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// With r = 1 the pair (0, 1) interacts: their closest points are
+	// ~0.71 apart.
+	res, err := eng.Query(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most interactive object: %d (interacts with %d objects)\n",
+		res.Best.Obj, res.Best.Score)
+
+	// Top-k returns every object with its exact score.
+	topk, err := eng.QueryTopK(1.0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range topk.TopK {
+		fmt.Printf("  #%d: object %d, score %d\n", i+1, s.Obj, s.Score)
+	}
+
+	// The statistics show what the BIGrid pipeline did.
+	fmt.Printf("pipeline: %d candidates after bounding, %d exact scores computed, %v total\n",
+		res.Stats.Candidates, res.Stats.Verified, res.Stats.Total())
+}

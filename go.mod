@@ -1,0 +1,3 @@
+module mio
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package baseline implements the competitor algorithms the paper
+// evaluates against BIGrid: the nested-loop algorithm NL (Algorithm 1),
+// its kd-tree variant NL-kd (footnote 9), the simple-grid algorithm SG
+// (a TOUCH-style in-memory spatial join specialised for MIO queries),
+// and the theoretical O(n log n) algorithm of §II-B with its quadratic
+// preprocessing. All of them are exact, so they double as oracles for
+// the correctness tests of the core engine.
+package baseline
+
+import (
+	"sort"
+
+	"mio/internal/data"
+	"mio/internal/geom"
+	"mio/internal/kdtree"
+	"mio/internal/parallel"
+)
+
+// Scored pairs an object id with its exact score (mirrors core.Scored
+// without importing it, to keep the dependency edges one-way).
+type Scored struct {
+	Obj   int
+	Score int
+}
+
+// TopKFromScores converts a full score vector into the k best entries
+// in non-increasing score order (ties by ascending id).
+func TopKFromScores(scores []int, k int) []Scored {
+	all := make([]Scored, len(scores))
+	for i, s := range scores {
+		all[i] = Scored{Obj: i, Score: s}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		return all[a].Obj < all[b].Obj
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// interacts reports whether two objects have a point pair within r,
+// with the early break of Algorithm 1 (lines 7-12).
+func interacts(a, b *data.Object, r2 float64) bool {
+	for _, p := range a.Pts {
+		for _, q := range b.Pts {
+			if geom.Dist2(p, q) <= r2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NLScores computes the exact score of every object with the
+// nested-loop algorithm (Algorithm 1): O(n²m²) worst case, with the
+// early break once a pair interacts.
+func NLScores(ds *data.Dataset, r float64) []int {
+	n := ds.N()
+	r2 := r * r
+	scores := make([]int, n)
+	for i := 0; i < n; i++ {
+		oi := &ds.Objects[i]
+		for j := i + 1; j < n; j++ {
+			if interacts(oi, &ds.Objects[j], r2) {
+				scores[i]++
+				scores[j]++
+			}
+		}
+	}
+	return scores
+}
+
+// NL runs the nested-loop algorithm and returns the k most interactive
+// objects.
+func NL(ds *data.Dataset, r float64, k int) []Scored {
+	return TopKFromScores(NLScores(ds, r), k)
+}
+
+// NLParallel parallelises the outer object loop of Algorithm 1 over t
+// cores. As §V-C discusses, the per-pair cost is unknowable in advance,
+// so the partition is a plain round-robin and load balance is poor —
+// reproducing that behaviour is the point.
+func NLParallel(ds *data.Dataset, r float64, k, t int) []Scored {
+	n := ds.N()
+	r2 := r * r
+	partial := make([][]int, t)
+	parallel.Run(t, func(w int) {
+		sc := make([]int, n)
+		for i := w; i < n; i += t {
+			oi := &ds.Objects[i]
+			for j := i + 1; j < n; j++ {
+				if interacts(oi, &ds.Objects[j], r2) {
+					sc[i]++
+					sc[j]++
+				}
+			}
+		}
+		partial[w] = sc
+	})
+	scores := make([]int, n)
+	for _, sc := range partial {
+		for i, v := range sc {
+			scores[i] += v
+		}
+	}
+	return TopKFromScores(scores, k)
+}
+
+// NLKDScores is the kd-tree NL variant of footnote 9: each object's
+// points are indexed by a kd-tree, and the pairwise test becomes an
+// existence query, giving O(n²·m·log m).
+func NLKDScores(ds *data.Dataset, r float64) []int {
+	n := ds.N()
+	trees := make([]*kdtree.Tree, n)
+	for i := 0; i < n; i++ {
+		trees[i] = kdtree.Build(ds.Objects[i].Pts)
+	}
+	scores := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Probe the smaller object's points against the larger
+			// object's tree.
+			pi, tj := ds.Objects[i].Pts, trees[j]
+			if len(ds.Objects[j].Pts) < len(pi) {
+				pi, tj = ds.Objects[j].Pts, trees[i]
+			}
+			for _, p := range pi {
+				if tj.WithinExists(p, r) {
+					scores[i]++
+					scores[j]++
+					break
+				}
+			}
+		}
+	}
+	return scores
+}
+
+// NLKD runs the kd-tree NL variant and returns the k most interactive
+// objects.
+func NLKD(ds *data.Dataset, r float64, k int) []Scored {
+	return TopKFromScores(NLKDScores(ds, r), k)
+}

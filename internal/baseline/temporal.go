@@ -1,0 +1,45 @@
+package baseline
+
+import (
+	"math"
+
+	"mio/internal/data"
+	"mio/internal/geom"
+)
+
+// TemporalNLScores is the brute-force oracle for the spatio-temporal
+// variant (Appendix B): objects interact iff some point pair is within
+// distance r and within δ in generation time.
+func TemporalNLScores(ds *data.Dataset, r, delta float64) []int {
+	n := ds.N()
+	r2 := r * r
+	scores := make([]int, n)
+	for i := 0; i < n; i++ {
+		oi := &ds.Objects[i]
+		for j := i + 1; j < n; j++ {
+			oj := &ds.Objects[j]
+			if temporalInteracts(oi, oj, r2, delta) {
+				scores[i]++
+				scores[j]++
+			}
+		}
+	}
+	return scores
+}
+
+func temporalInteracts(a, b *data.Object, r2, delta float64) bool {
+	for pi, p := range a.Pts {
+		for qi, q := range b.Pts {
+			if geom.Dist2(p, q) <= r2 && math.Abs(a.Times[pi]-b.Times[qi]) <= delta {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TemporalNL returns the k most interactive objects under the
+// spatio-temporal definition.
+func TemporalNL(ds *data.Dataset, r, delta float64, k int) []Scored {
+	return TopKFromScores(TemporalNLScores(ds, r, delta), k)
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"sort"
+
+	"mio/internal/data"
+	"mio/internal/kdtree"
+	"mio/internal/parallel"
+)
+
+// Theoretical is the O(n log n)-per-query algorithm of §II-B: for every
+// object it precomputes the sorted array A_i of closest-pair distances
+// to every other object, after which τ(o_i) for any r is one binary
+// search. The preprocessing costs O(n²(m log m + log n)) time and the
+// index O(n²) space — the paper's point is exactly that this is
+// impractical, and the type exists to demonstrate it (and to serve as
+// one more exact oracle on small inputs).
+type Theoretical struct {
+	// dists[i] is A_i: closest-pair distances from object i to every
+	// other object, sorted ascending.
+	dists [][]float64
+}
+
+// BuildTheoretical runs the quadratic preprocessing over t cores
+// (t < 2 means serial). Keep the input small: the cost is O(n²·m·log m).
+func BuildTheoretical(ds *data.Dataset, t int) *Theoretical {
+	n := ds.N()
+	trees := make([]*kdtree.Tree, n)
+	for i := 0; i < n; i++ {
+		trees[i] = kdtree.Build(ds.Objects[i].Pts)
+	}
+	// closest[i][j] for j > i, computed once per unordered pair.
+	th := &Theoretical{dists: make([][]float64, n)}
+	for i := range th.dists {
+		th.dists[i] = make([]float64, 0, n-1)
+	}
+	type pairDist struct {
+		i, j int
+		d    float64
+	}
+	rows := make([][]pairDist, n)
+	if t < 1 {
+		t = 1
+	}
+	parallel.Run(t, func(w int) {
+		for i := w; i < n; i += t {
+			row := make([]pairDist, 0, n-i-1)
+			for j := i + 1; j < n; j++ {
+				pi, tj := ds.Objects[i].Pts, trees[j]
+				if len(ds.Objects[j].Pts) < len(pi) {
+					pi, tj = ds.Objects[j].Pts, trees[i]
+				}
+				row = append(row, pairDist{i: i, j: j, d: tj.MinDistBetween(pi)})
+			}
+			rows[i] = row
+		}
+	})
+	for _, row := range rows {
+		for _, pd := range row {
+			th.dists[pd.i] = append(th.dists[pd.i], pd.d)
+			th.dists[pd.j] = append(th.dists[pd.j], pd.d)
+		}
+	}
+	for i := range th.dists {
+		sort.Float64s(th.dists[i])
+	}
+	return th
+}
+
+// Score returns τ(o_i) for threshold r by binary search on A_i.
+func (th *Theoretical) Score(i int, r float64) int {
+	return sort.SearchFloat64s(th.dists[i], nextAfter(r))
+}
+
+// nextAfter nudges r up so the binary search keeps distances exactly
+// equal to r (the predicate is dist ≤ r).
+func nextAfter(r float64) float64 {
+	// SearchFloat64s finds the first index with dists[idx] >= x; using
+	// x just above r counts all entries <= r.
+	return r * (1 + 1e-12)
+}
+
+// Query answers the top-k MIO query in O(n log n).
+func (th *Theoretical) Query(r float64, k int) []Scored {
+	scores := make([]int, len(th.dists))
+	for i := range th.dists {
+		scores[i] = th.Score(i, r)
+	}
+	return TopKFromScores(scores, k)
+}
+
+// SizeBytes returns the O(n²) index footprint.
+func (th *Theoretical) SizeBytes() int {
+	total := 0
+	for _, d := range th.dists {
+		total += 24 + len(d)*8
+	}
+	return total
+}

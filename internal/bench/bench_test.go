@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickSuite(buf *bytes.Buffer) *Suite {
+	s := NewSuite(buf)
+	s.Scale = 0.05
+	s.Rs = []float64{4, 8}
+	s.Workers = []int{1, 2}
+	return s
+}
+
+func TestSuiteRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	s := quickSuite(&buf)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Fig. 5 (time)", "Fig. 5 (memory)", "Table II",
+		"Fig. 6 (time)", "Fig. 7", "Fig. 8", "Fig. 9", "Table III", "Appendix A",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteRunByID(t *testing.T) {
+	var buf bytes.Buffer
+	s := quickSuite(&buf)
+	if err := s.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("table1 produced no output")
+	}
+	if err := s.Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{title: "T", header: []string{"a", "bb"}}
+	tb.add("xxx", "y")
+	tb.fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "xxx  y") {
+		t.Fatalf("rendered:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := mb(1 << 20); got != "1.000" {
+		t.Errorf("mb = %s", got)
+	}
+	if got := ms(1500000); got != "1.500" { // 1.5ms in ns
+		t.Errorf("ms = %s", got)
+	}
+}
+
+func TestDefaultWorkersShape(t *testing.T) {
+	ws := defaultWorkers()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("workers = %v", ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] <= ws[i-1] {
+			t.Fatalf("not increasing: %v", ws)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	s := quickSuite(&buf)
+	s.CSV = true
+	if err := s.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Table I") {
+		t.Fatalf("missing CSV title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "Dataset,n,m,nm") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+}

@@ -1,0 +1,270 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestCompressedEmpty(t *testing.T) {
+	c := New()
+	if c.Cardinality() != 0 || !c.Empty() {
+		t.Fatalf("new bitmap not empty: card=%d", c.Cardinality())
+	}
+	if c.MaxBit() != -1 {
+		t.Fatalf("MaxBit of empty = %d, want -1", c.MaxBit())
+	}
+	if got := c.Bits(); len(got) != 0 {
+		t.Fatalf("Bits of empty = %v", got)
+	}
+	if c.Test(0) || c.Test(100) {
+		t.Fatal("Test on empty bitmap returned true")
+	}
+}
+
+func TestCompressedZeroValue(t *testing.T) {
+	var c Compressed
+	c.Set(5)
+	c.Set(7)
+	if got := c.Bits(); !reflect.DeepEqual(got, []int{5, 7}) {
+		t.Fatalf("zero-value bitmap Bits = %v, want [5 7]", got)
+	}
+}
+
+func TestCompressedSetBasic(t *testing.T) {
+	c := New()
+	in := []int{0, 1, 63, 64, 65, 127, 128, 1000, 1001, 70000}
+	for _, b := range in {
+		c.Set(b)
+	}
+	if got := c.Bits(); !reflect.DeepEqual(got, in) {
+		t.Fatalf("Bits = %v, want %v", got, in)
+	}
+	if c.Cardinality() != len(in) {
+		t.Fatalf("Cardinality = %d, want %d", c.Cardinality(), len(in))
+	}
+	if c.MaxBit() != 70000 {
+		t.Fatalf("MaxBit = %d, want 70000", c.MaxBit())
+	}
+	for _, b := range in {
+		if !c.Test(b) {
+			t.Fatalf("Test(%d) = false", b)
+		}
+	}
+	for _, b := range []int{2, 62, 66, 129, 999, 69999, 70001} {
+		if c.Test(b) {
+			t.Fatalf("Test(%d) = true, want false", b)
+		}
+	}
+}
+
+func TestCompressedSetIdempotent(t *testing.T) {
+	c := New()
+	c.Set(10)
+	c.Set(10)
+	c.Set(10)
+	if c.Cardinality() != 1 {
+		t.Fatalf("Cardinality after repeated Set = %d, want 1", c.Cardinality())
+	}
+}
+
+func TestCompressedSetOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Set did not panic")
+		}
+	}()
+	c := New()
+	c.Set(10)
+	c.Set(9)
+}
+
+func TestCompressedSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Set did not panic")
+		}
+	}()
+	New().Set(-1)
+}
+
+func TestCompressedLongRuns(t *testing.T) {
+	// A single bit far out forces a long zero run; a dense block forces
+	// a one-fill after FromDense.
+	c := New()
+	c.Set(1 << 20)
+	if c.SizeBytes() >= (1<<20)/8 {
+		t.Fatalf("sparse bitmap not compressed: %d bytes", c.SizeBytes())
+	}
+	if got := c.Bits(); !reflect.DeepEqual(got, []int{1 << 20}) {
+		t.Fatalf("Bits = %v", got)
+	}
+
+	d := NewDense(4096)
+	for i := 256; i < 2304; i++ { // 32 full one-words
+		d.Set(i)
+	}
+	cc := FromDense(d)
+	if cc.Cardinality() != 2048 {
+		t.Fatalf("FromDense cardinality = %d, want 2048", cc.Cardinality())
+	}
+	if cc.SizeBytes() >= d.SizeBytes() {
+		t.Fatalf("dense block not compressed: %d >= %d", cc.SizeBytes(), d.SizeBytes())
+	}
+	if !reflect.DeepEqual(cc.Bits(), d.Bits()) {
+		t.Fatal("FromDense bits mismatch")
+	}
+}
+
+func TestCompressedClone(t *testing.T) {
+	c := New()
+	c.Set(3)
+	c.Set(100)
+	d := c.Clone()
+	d.Set(200)
+	if c.Cardinality() != 2 || d.Cardinality() != 3 {
+		t.Fatalf("clone not independent: %d, %d", c.Cardinality(), d.Cardinality())
+	}
+}
+
+func TestCompressedReset(t *testing.T) {
+	c := New()
+	c.Set(5)
+	c.Set(500)
+	c.Reset()
+	if !c.Empty() || c.MaxBit() != -1 {
+		t.Fatal("Reset did not empty the bitmap")
+	}
+	c.Set(2)
+	if got := c.Bits(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("Bits after Reset+Set = %v", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	c := New()
+	for i := 0; i < 100; i += 3 {
+		c.Set(i)
+	}
+	count := 0
+	c.ForEach(func(int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("ForEach visited %d bits, want 5", count)
+	}
+}
+
+// randomSortedBits draws k distinct sorted bit positions below n.
+func randomSortedBits(rng *rand.Rand, n, k int) []int {
+	seen := map[int]bool{}
+	for len(seen) < k {
+		seen[rng.Intn(n)] = true
+	}
+	out := make([]int, 0, k)
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestCompressedRandomAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 64 + rng.Intn(5000)
+		k := rng.Intn(n)
+		bits := randomSortedBits(rng, n, k)
+		c := New()
+		d := NewDense(n)
+		for _, b := range bits {
+			c.Set(b)
+			d.Set(b)
+		}
+		if c.Cardinality() != d.Cardinality() {
+			t.Fatalf("trial %d: card %d vs %d", trial, c.Cardinality(), d.Cardinality())
+		}
+		if !reflect.DeepEqual(c.Bits(), d.Bits()) {
+			t.Fatalf("trial %d: bits mismatch", trial)
+		}
+		// FromDense round-trip.
+		c2 := FromDense(d)
+		if !reflect.DeepEqual(c2.Bits(), d.Bits()) || c2.Cardinality() != d.Cardinality() {
+			t.Fatalf("trial %d: FromDense mismatch", trial)
+		}
+		if c2.MaxBit() != c.MaxBit() {
+			t.Fatalf("trial %d: MaxBit %d vs %d", trial, c2.MaxBit(), c.MaxBit())
+		}
+	}
+}
+
+func TestCompressedMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 64 + rng.Intn(3000)
+		c := New()
+		for _, b := range randomSortedBits(rng, n, rng.Intn(n/2+1)) {
+			c.Set(b)
+		}
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Compressed
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(back.Bits(), c.Bits()) {
+			t.Fatalf("trial %d: round-trip bits mismatch", trial)
+		}
+		if back.Cardinality() != c.Cardinality() || back.MaxBit() != c.MaxBit() {
+			t.Fatalf("trial %d: round-trip metadata mismatch", trial)
+		}
+		// The decoded bitmap must still be appendable.
+		if c.MaxBit() >= 0 {
+			back.Set(c.MaxBit() + 100)
+			if !back.Test(c.MaxBit() + 100) {
+				t.Fatalf("trial %d: append after unmarshal failed", trial)
+			}
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var c Compressed
+	if err := c.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+	if err := c.UnmarshalBinary(make([]byte, 23)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	good, _ := FromBits(100, 1, 2, 3).MarshalBinary()
+	bad := append([]byte(nil), good...)
+	bad[0] = 99 // version
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	bad2 := append([]byte(nil), good...)
+	if err := c.UnmarshalBinary(bad2[:len(bad2)-8]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestCompressionRatioOnSkewedData(t *testing.T) {
+	// Simulates a dense cell in a skewed dataset: a contiguous block of
+	// objects present, everything else absent. Compression must beat
+	// the dense encoding by a wide margin (paper footnote 4 reports
+	// 80-99.9%).
+	n := 100000
+	d := NewDense(n)
+	for i := 5000; i < 5600; i++ {
+		d.Set(i)
+	}
+	c := FromDense(d)
+	ratio := 1 - float64(c.SizeBytes())/float64(d.SizeBytes())
+	if ratio < 0.8 {
+		t.Fatalf("compression ratio %.3f < 0.8", ratio)
+	}
+}

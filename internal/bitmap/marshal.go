@@ -1,0 +1,117 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// marshalVersion identifies the on-disk encoding of Compressed.
+const marshalVersion = 1
+
+// maxUnmarshalWords caps the logical size of a decoded bitmap (2^24
+// words = ~1 billion bits), rejecting hostile payloads whose run
+// lengths would make later full decodes unreasonably expensive.
+const maxUnmarshalWords = 1 << 24
+
+// logicalWordsOf sums the logical word counts of an encoded word
+// stream without materialising it. It tolerates malformed streams (the
+// caller validates structure separately).
+func logicalWordsOf(raw []byte) int {
+	full := 0
+	for pos := 0; pos+8 <= len(raw); {
+		m := binary.LittleEndian.Uint64(raw[pos:])
+		_, runLen, lit := markerFields(m)
+		full += int(runLen) + int(lit)
+		pos += 8 * (1 + int(lit))
+		if full > maxUnmarshalWords {
+			return full
+		}
+	}
+	return full
+}
+
+// MarshalBinary encodes the bitmap for persistence. The pending word is
+// flushed into the encoding, so the result is a canonical snapshot.
+func (c *Compressed) MarshalBinary() ([]byte, error) {
+	snap := c.Clone()
+	snap.flushPending()
+	buf := make([]byte, 0, 8*(len(snap.words)+3))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(marshalVersion))
+	buf = append(buf, hdr[:]...)
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(snap.words)))
+	buf = append(buf, hdr[:]...)
+	binary.LittleEndian.PutUint64(hdr[:], uint64(snap.card))
+	buf = append(buf, hdr[:]...)
+	for _, w := range snap.words {
+		binary.LittleEndian.PutUint64(hdr[:], w)
+		buf = append(buf, hdr[:]...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a bitmap previously produced by
+// MarshalBinary, replacing the receiver's contents.
+func (c *Compressed) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return errors.New("bitmap: truncated header")
+	}
+	if v := binary.LittleEndian.Uint64(data[0:8]); v != marshalVersion {
+		return fmt.Errorf("bitmap: unsupported version %d", v)
+	}
+	nWords64 := binary.LittleEndian.Uint64(data[8:16])
+	card := int(binary.LittleEndian.Uint64(data[16:24]))
+	// Validate the word count against the actual payload size before
+	// converting, so oversized counts cannot overflow the arithmetic.
+	if uint64(len(data)-24)/8 != nWords64 || (len(data)-24)%8 != 0 {
+		return fmt.Errorf("bitmap: payload %d bytes does not hold %d words", len(data), nWords64)
+	}
+	nWords := int(nWords64)
+	if full := logicalWordsOf(data[24:]); full > maxUnmarshalWords {
+		return fmt.Errorf("bitmap: payload spans %d logical words, limit %d", full, maxUnmarshalWords)
+	}
+	c.Reset()
+	c.words = make([]uint64, nWords)
+	for i := range c.words {
+		c.words[i] = binary.LittleEndian.Uint64(data[24+8*i:])
+	}
+	// Validate the marker structure and recompute the derived state in
+	// one run-aware pass: fills contribute in O(1) regardless of their
+	// length, so hostile payloads with enormous runs cannot stall the
+	// decoder.
+	pos := 0
+	full := 0
+	recount := 0
+	lastBit := -1
+	for pos < len(c.words) {
+		markerPos := pos
+		fill, runLen, lit := markerFields(c.words[pos])
+		pos += 1 + int(lit)
+		if pos > len(c.words) {
+			return errors.New("bitmap: marker literal count exceeds payload")
+		}
+		if fill && runLen > 0 {
+			recount += int(runLen) * 64
+			lastBit = (full+int(runLen))*64 - 1
+		}
+		full += int(runLen)
+		for li := 0; li < int(lit); li++ {
+			w := c.words[markerPos+1+li]
+			recount += bits.OnesCount64(w)
+			if w != 0 {
+				lastBit = full*64 + 63 - bits.LeadingZeros64(w)
+			}
+			full++
+		}
+		c.lastMarker = markerPos
+	}
+	c.fullWords = full
+	c.lastBit = lastBit
+	c.card = recount
+	if c.card != card {
+		return fmt.Errorf("bitmap: cardinality mismatch: header %d, payload %d", card, c.card)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// roaringMagic identifies the on-disk encoding of Roaring.
+const roaringMagic = uint32(0x524f4152) // "ROAR"
+
+// MarshalBinary encodes the bitmap. Containers are serialised in their
+// current representation, so calling Optimize first yields the
+// smallest encoding.
+func (r *Roaring) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+r.SizeBytes())
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put16 := func(v uint16) {
+		buf = append(buf, byte(v), byte(v>>8))
+	}
+	put32(roaringMagic)
+	put32(uint32(len(r.keys)))
+	for i, key := range r.keys {
+		c := r.containers[i]
+		put16(key)
+		buf = append(buf, byte(c.kind))
+		put32(uint32(c.card))
+		switch c.kind {
+		case kindArray:
+			put32(uint32(len(c.array)))
+			for _, v := range c.array {
+				put16(v)
+			}
+		case kindBitmap:
+			for _, w := range c.words {
+				var u64 [8]byte
+				binary.LittleEndian.PutUint64(u64[:], w)
+				buf = append(buf, u64[:]...)
+			}
+		case kindRun:
+			put32(uint32(len(c.runs)))
+			for _, run := range c.runs {
+				put16(run.start)
+				put16(run.length)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a bitmap produced by MarshalBinary, replacing
+// the receiver's contents.
+func (r *Roaring) UnmarshalBinary(data []byte) error {
+	pos := 0
+	get32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, errors.New("bitmap: truncated roaring payload")
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	get16 := func() (uint16, error) {
+		if pos+2 > len(data) {
+			return 0, errors.New("bitmap: truncated roaring payload")
+		}
+		v := uint16(data[pos]) | uint16(data[pos+1])<<8
+		pos += 2
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return err
+	}
+	if magic != roaringMagic {
+		return errors.New("bitmap: bad roaring magic")
+	}
+	nKeys, err := get32()
+	if err != nil {
+		return err
+	}
+	out := Roaring{}
+	var prevKey int = -1
+	for i := uint32(0); i < nKeys; i++ {
+		key, err := get16()
+		if err != nil {
+			return err
+		}
+		if int(key) <= prevKey {
+			return errors.New("bitmap: roaring keys not strictly increasing")
+		}
+		prevKey = int(key)
+		if pos >= len(data) {
+			return errors.New("bitmap: truncated roaring container")
+		}
+		kind := containerKind(data[pos])
+		pos++
+		card, err := get32()
+		if err != nil {
+			return err
+		}
+		c := &container{kind: kind, card: int(card)}
+		switch kind {
+		case kindArray:
+			n, err := get32()
+			if err != nil {
+				return err
+			}
+			if n > containerCap {
+				return errors.New("bitmap: implausible array length")
+			}
+			c.array = make([]uint16, n)
+			for j := range c.array {
+				if c.array[j], err = get16(); err != nil {
+					return err
+				}
+				if j > 0 && c.array[j] <= c.array[j-1] {
+					return errors.New("bitmap: roaring array not sorted")
+				}
+			}
+			if int(card) != len(c.array) {
+				return errors.New("bitmap: array cardinality mismatch")
+			}
+		case kindBitmap:
+			if pos+bitmapWords*8 > len(data) {
+				return errors.New("bitmap: truncated roaring bitmap container")
+			}
+			c.words = make([]uint64, bitmapWords)
+			recount := 0
+			for j := range c.words {
+				c.words[j] = binary.LittleEndian.Uint64(data[pos:])
+				pos += 8
+				recount += bits.OnesCount64(c.words[j])
+			}
+			if recount != int(card) {
+				return errors.New("bitmap: bitmap cardinality mismatch")
+			}
+		case kindRun:
+			n, err := get32()
+			if err != nil {
+				return err
+			}
+			if n > containerCap {
+				return errors.New("bitmap: implausible run count")
+			}
+			c.runs = make([]interval, n)
+			recount := 0
+			for j := range c.runs {
+				if c.runs[j].start, err = get16(); err != nil {
+					return err
+				}
+				if c.runs[j].length, err = get16(); err != nil {
+					return err
+				}
+				recount += int(c.runs[j].length) + 1
+			}
+			if recount != int(card) {
+				return errors.New("bitmap: run cardinality mismatch")
+			}
+		default:
+			return fmt.Errorf("bitmap: unknown container kind %d", kind)
+		}
+		out.keys = append(out.keys, key)
+		out.containers = append(out.containers, c)
+	}
+	if pos != len(data) {
+		return errors.New("bitmap: trailing bytes in roaring payload")
+	}
+	*r = out
+	return nil
+}

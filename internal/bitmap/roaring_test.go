@@ -1,0 +1,342 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoaringBasic(t *testing.T) {
+	r := NewRoaring()
+	if r.Cardinality() != 0 || r.Test(0) {
+		t.Fatal("new roaring not empty")
+	}
+	in := []int{0, 5, 5, 65535, 65536, 1 << 20, 1<<20 + 1}
+	for _, b := range in {
+		r.Set(b)
+	}
+	want := []int{0, 5, 65535, 65536, 1 << 20, 1<<20 + 1}
+	if got := r.Bits(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bits = %v, want %v", got, want)
+	}
+	if r.Cardinality() != len(want) {
+		t.Fatalf("card = %d", r.Cardinality())
+	}
+	for _, b := range want {
+		if !r.Test(b) {
+			t.Fatalf("Test(%d) = false", b)
+		}
+	}
+	for _, b := range []int{1, 4, 6, 65534, 65537, -3} {
+		if r.Test(b) {
+			t.Fatalf("Test(%d) = true", b)
+		}
+	}
+}
+
+func TestRoaringOutOfOrderSets(t *testing.T) {
+	// Unlike Compressed, arbitrary insertion order must work.
+	r := NewRoaring()
+	for _, b := range []int{100, 3, 70000, 50, 3, 69999} {
+		r.Set(b)
+	}
+	want := []int{3, 50, 100, 69999, 70000}
+	if got := r.Bits(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bits = %v", got)
+	}
+}
+
+func TestRoaringArrayToBitmapPromotion(t *testing.T) {
+	r := NewRoaring()
+	for i := 0; i < 2*arrayMaxLen; i++ {
+		r.Set(i * 2) // same chunk? 2*4096*2 = 16384 < 65536, yes
+	}
+	if r.Cardinality() != 2*arrayMaxLen {
+		t.Fatalf("card = %d", r.Cardinality())
+	}
+	if r.containers[0].kind != kindBitmap {
+		t.Fatalf("container kind = %v, want bitmap", r.containers[0].kind)
+	}
+	// Every other bit still reads correctly.
+	for i := 0; i < 2*arrayMaxLen; i++ {
+		if !r.Test(i*2) || r.Test(i*2+1) {
+			t.Fatalf("bit %d wrong after promotion", i)
+		}
+	}
+}
+
+func TestRoaringOptimizeRunContainer(t *testing.T) {
+	r := NewRoaring()
+	for i := 1000; i < 30000; i++ {
+		r.Set(i)
+	}
+	before := r.SizeBytes()
+	r.Optimize()
+	after := r.SizeBytes()
+	if r.containers[0].kind != kindRun {
+		t.Fatalf("clustered container kind = %v, want run", r.containers[0].kind)
+	}
+	if after >= before {
+		t.Fatalf("optimize grew: %d -> %d", before, after)
+	}
+	if r.Cardinality() != 29000 {
+		t.Fatalf("card after optimize = %d", r.Cardinality())
+	}
+	if !r.Test(1000) || !r.Test(29999) || r.Test(999) || r.Test(30000) {
+		t.Fatal("run container membership wrong")
+	}
+	// Mutating a run container falls back safely.
+	r.Set(50)
+	if !r.Test(50) || !r.Test(15000) {
+		t.Fatal("set after optimize broken")
+	}
+}
+
+func TestRoaringOptimizeSparseStaysArray(t *testing.T) {
+	r := RoaringFromBits(1, 100, 5000, 60000)
+	r.Optimize()
+	// 4 scattered bits: 2-run-per-bit run encoding costs 16 bytes,
+	// array costs 8 — either is tiny, but card must survive.
+	if r.Cardinality() != 4 {
+		t.Fatalf("card = %d", r.Cardinality())
+	}
+	if got := r.Bits(); !reflect.DeepEqual(got, []int{1, 100, 5000, 60000}) {
+		t.Fatalf("bits = %v", got)
+	}
+}
+
+func TestRoaringOpsSmall(t *testing.T) {
+	a := RoaringFromBits(1, 2, 70000, 70001)
+	b := RoaringFromBits(2, 3, 70001, 200000)
+	if got := RoaringOr(a, b).Bits(); !reflect.DeepEqual(got, []int{1, 2, 3, 70000, 70001, 200000}) {
+		t.Fatalf("Or = %v", got)
+	}
+	if got := RoaringAnd(a, b).Bits(); !reflect.DeepEqual(got, []int{2, 70001}) {
+		t.Fatalf("And = %v", got)
+	}
+	if got := RoaringAndNot(a, b).Bits(); !reflect.DeepEqual(got, []int{1, 70000}) {
+		t.Fatalf("AndNot = %v", got)
+	}
+	e := NewRoaring()
+	if got := RoaringOr(a, e).Bits(); !reflect.DeepEqual(got, a.Bits()) {
+		t.Fatalf("Or empty = %v", got)
+	}
+	if got := RoaringAnd(a, e).Bits(); len(got) != 0 {
+		t.Fatalf("And empty = %v", got)
+	}
+	if got := RoaringAndNot(e, a).Bits(); len(got) != 0 {
+		t.Fatalf("AndNot empty = %v", got)
+	}
+}
+
+// Property: roaring ops agree with the dense reference and with the
+// EWAH implementation for arbitrary inputs spanning multiple chunks.
+func TestRoaringQuickAgainstDense(t *testing.T) {
+	type input struct {
+		A, B []uint32
+	}
+	f := func(in input) bool {
+		n := 1 << 18
+		da, db := NewDense(n), NewDense(n)
+		ra, rb := NewRoaring(), NewRoaring()
+		for _, x := range in.A {
+			v := int(x) % n
+			da.Set(v)
+			ra.Set(v)
+		}
+		for _, x := range in.B {
+			v := int(x) % n
+			db.Set(v)
+			rb.Set(v)
+		}
+		ra.Optimize()
+		or := da.Clone()
+		or.Or(db)
+		and := da.Clone()
+		and.And(db)
+		anot := da.Clone()
+		anot.AndNot(db)
+		return reflect.DeepEqual(RoaringOr(ra, rb).Bits(), or.Bits()) &&
+			reflect.DeepEqual(RoaringAnd(ra, rb).Bits(), and.Bits()) &&
+			reflect.DeepEqual(RoaringAndNot(ra, rb).Bits(), anot.Bits()) &&
+			ra.Cardinality() == da.Cardinality()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoaringMatchesEWAHOnSkewedData(t *testing.T) {
+	// A BIGrid-like workload: dense blocks plus sparse tails.
+	rng := rand.New(rand.NewSource(4))
+	n := 1 << 17
+	d := NewDense(n)
+	r := NewRoaring()
+	for i := 20000; i < 26000; i++ {
+		d.Set(i)
+		r.Set(i)
+	}
+	for j := 0; j < 500; j++ {
+		v := rng.Intn(n)
+		d.Set(v)
+		r.Set(v)
+	}
+	c := FromDense(d)
+	if !reflect.DeepEqual(r.Bits(), c.Bits()) {
+		t.Fatal("roaring and EWAH disagree")
+	}
+	r.Optimize()
+	if !reflect.DeepEqual(r.Bits(), c.Bits()) {
+		t.Fatal("optimize changed contents")
+	}
+	// Both must compress far below dense.
+	if r.SizeBytes() >= d.SizeBytes() || c.SizeBytes() >= d.SizeBytes() {
+		t.Fatalf("no compression: roaring=%d ewah=%d dense=%d",
+			r.SizeBytes(), c.SizeBytes(), d.SizeBytes())
+	}
+}
+
+func TestRoaringForEachEarlyStop(t *testing.T) {
+	r := RoaringFromBits(1, 2, 3, 70000, 70001)
+	count := 0
+	r.ForEach(func(int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestRoaringSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRoaring().Set(-1)
+}
+
+// Ablation benchmark: the three containers on a skewed OR-heavy
+// workload shaped like lower-bounding.
+func BenchmarkContainerAblationOr(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 1 << 17
+	const sets = 64
+	denses := make([]*Dense, sets)
+	ewahs := make([]*Compressed, sets)
+	roars := make([]*Roaring, sets)
+	for i := range denses {
+		d := NewDense(n)
+		r := NewRoaring()
+		base := rng.Intn(n - 2000)
+		for j := 0; j < 800; j++ { // clustered block
+			d.Set(base + j)
+			r.Set(base + j)
+		}
+		for j := 0; j < 50; j++ { // sparse tail
+			v := rng.Intn(n)
+			d.Set(v)
+			r.Set(v)
+		}
+		r.Optimize()
+		denses[i] = d
+		ewahs[i] = FromDense(d)
+		roars[i] = r
+	}
+	b.Run("ewah-into-scratch", func(b *testing.B) {
+		s := NewScratch(n)
+		for i := 0; i < b.N; i++ {
+			s.Reset()
+			for _, c := range ewahs {
+				s.OrCompressed(c)
+			}
+		}
+	})
+	b.Run("ewah-merge-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := New()
+			for _, c := range ewahs {
+				acc = Or(acc, c)
+			}
+		}
+	})
+	b.Run("roaring-merge-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := NewRoaring()
+			for _, c := range roars {
+				acc = RoaringOr(acc, c)
+			}
+		}
+	})
+	b.Run("dense-or", func(b *testing.B) {
+		acc := NewDense(n)
+		for i := 0; i < b.N; i++ {
+			acc.Reset()
+			for _, c := range denses {
+				acc.Or(c)
+			}
+		}
+	})
+}
+
+func TestRoaringMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		r := NewRoaring()
+		// Mixed shape: a dense block, a run-friendly block, sparse tail.
+		base := rng.Intn(1 << 18)
+		for i := 0; i < rng.Intn(6000); i++ {
+			r.Set(base + i)
+		}
+		for i := 0; i < rng.Intn(300); i++ {
+			r.Set(rng.Intn(1 << 20))
+		}
+		if trial%2 == 0 {
+			r.Optimize()
+		}
+		data, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Roaring
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(back.Bits(), r.Bits()) {
+			t.Fatalf("trial %d: round-trip mismatch", trial)
+		}
+		if back.Cardinality() != r.Cardinality() {
+			t.Fatalf("trial %d: card mismatch", trial)
+		}
+		// Decoded bitmap stays usable.
+		back.Set(1 << 21)
+		if !back.Test(1 << 21) {
+			t.Fatal("set after unmarshal failed")
+		}
+	}
+}
+
+func TestRoaringUnmarshalErrors(t *testing.T) {
+	var r Roaring
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := r.UnmarshalBinary(make([]byte, 8)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good, _ := RoaringFromBits(1, 2, 70000).MarshalBinary()
+	if err := r.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("truncated accepted")
+	}
+	if err := r.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Corrupt a cardinality.
+	bad := append([]byte(nil), good...)
+	bad[11]++ // first container card low byte
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("corrupted cardinality accepted")
+	}
+	if err := r.UnmarshalBinary(good); err != nil {
+		t.Errorf("good payload rejected: %v", err)
+	}
+}

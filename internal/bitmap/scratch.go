@@ -1,0 +1,170 @@
+package bitmap
+
+import "math/bits"
+
+// Scratch is a dense bitset with O(1) reset, used for the per-object
+// temporary bitsets b(o_i) that the bounding and verification phases
+// create for every object (Algorithms 4-6). A naive dense bitset would
+// spend O(n/64) zeroing per object — O(n²/64) per query. Scratch
+// versions every word with an epoch stamp instead: Reset bumps the
+// epoch and all stale words read as zero.
+//
+// Scratch additionally maintains its cardinality incrementally so that
+// the |b(o_i)| reads in the inner loops are O(1).
+type Scratch struct {
+	words  []uint64
+	stamps []uint32
+	epoch  uint32
+	card   int
+	// maxWord is the highest word index written this epoch, bounding
+	// iteration. -1 when nothing was written.
+	maxWord int
+}
+
+// NewScratch returns a scratch bitset able to hold bits [0, n).
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		words:   make([]uint64, (n+63)/64),
+		stamps:  make([]uint32, (n+63)/64),
+		epoch:   1,
+		maxWord: -1,
+	}
+}
+
+// Reset clears the bitset in O(1).
+func (s *Scratch) Reset() {
+	s.epoch++
+	s.card = 0
+	s.maxWord = -1
+	if s.epoch == 0 { // wrapped: stamps may alias, hard-reset
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// word returns the current value of word i.
+func (s *Scratch) word(i int) uint64 {
+	if s.stamps[i] != s.epoch {
+		return 0
+	}
+	return s.words[i]
+}
+
+// setWord overwrites word i with w, maintaining cardinality.
+func (s *Scratch) setWord(i int, w uint64) {
+	old := uint64(0)
+	if s.stamps[i] == s.epoch {
+		old = s.words[i]
+	} else {
+		s.stamps[i] = s.epoch
+	}
+	s.words[i] = w
+	s.card += bits.OnesCount64(w) - bits.OnesCount64(old)
+	if i > s.maxWord {
+		s.maxWord = i
+	}
+}
+
+// Set sets bit i.
+func (s *Scratch) Set(i int) {
+	w := i >> 6
+	s.setWord(w, s.word(w)|1<<uint(i&63))
+}
+
+// Clear clears bit i.
+func (s *Scratch) Clear(i int) {
+	w := i >> 6
+	s.setWord(w, s.word(w)&^(1<<uint(i&63)))
+}
+
+// Test reports whether bit i is set.
+func (s *Scratch) Test(i int) bool {
+	return s.word(i>>6)&(1<<uint(i&63)) != 0
+}
+
+// Cardinality returns the number of set bits in O(1).
+func (s *Scratch) Cardinality() int { return s.card }
+
+// OrCompressed sets s |= c. Zero runs of c are skipped without touching
+// the accumulator.
+func (s *Scratch) OrCompressed(c *Compressed) {
+	c.iterate(func(idx int, w uint64) bool {
+		old := s.word(idx)
+		if nw := old | w; nw != old {
+			s.setWord(idx, nw)
+		}
+		return true
+	})
+}
+
+// OrScratch sets s |= t.
+func (s *Scratch) OrScratch(t *Scratch) {
+	for i := 0; i <= t.maxWord; i++ {
+		w := t.word(i)
+		if w == 0 {
+			continue
+		}
+		s.setWord(i, s.word(i)|w)
+	}
+}
+
+// AndNotFromCompressed sets s = c &^ sub, replacing s's current
+// contents. This is the "b ← b^adj(c) − b(o_i)" step of verification
+// (Algorithm 6, line 10).
+func (s *Scratch) AndNotFromCompressed(c *Compressed, sub *Scratch) {
+	s.Reset()
+	c.iterate(func(idx int, w uint64) bool {
+		if masked := w &^ sub.word(idx); masked != 0 {
+			s.setWord(idx, masked)
+		}
+		return true
+	})
+}
+
+// ForEach calls fn with every set bit in increasing order; fn returning
+// false stops the iteration.
+func (s *Scratch) ForEach(fn func(bit int) bool) {
+	for i := 0; i <= s.maxWord; i++ {
+		w := s.word(i)
+		base := i << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Bits returns the set bits in increasing order.
+func (s *Scratch) Bits() []int {
+	out := make([]int, 0, s.card)
+	s.ForEach(func(b int) bool { out = append(out, b); return true })
+	return out
+}
+
+// ToCompressed compresses the current contents.
+func (s *Scratch) ToCompressed() *Compressed {
+	c := New()
+	zeros := 0
+	lastBit := -1
+	for i := 0; i <= s.maxWord; i++ {
+		w := s.word(i)
+		if w == 0 {
+			zeros++
+			continue
+		}
+		if zeros > 0 {
+			c.appendFill(false, uint64(zeros))
+			zeros = 0
+		}
+		c.appendWord(w)
+		c.card += bits.OnesCount64(w)
+		lastBit = i<<6 + 63 - bits.LeadingZeros64(w)
+	}
+	c.lastBit = lastBit
+	return c
+}

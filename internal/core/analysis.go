@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mio/internal/bitmap"
+	"mio/internal/grid"
+)
+
+// This file provides the analytical companions to the MIO query that
+// the paper's motivating applications need once the answer is known:
+// extracting O_i — the set of objects interacting with a given object
+// (Example 2 extracts the sub-trajectories near the leader) — full
+// score vectors for distribution analysis, and threshold sweeps that
+// share one label store across queries.
+
+// InteractingSet returns the ids of the objects interacting with
+// object obj at threshold r (the set O_obj of Equation (1)), in
+// increasing id order. It builds a BIGrid and runs the verification
+// machinery for the single object, so it costs far less than a full
+// query.
+func (e *Engine) InteractingSet(r float64, obj int) ([]int, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
+	}
+	if obj < 0 || obj >= e.ds.N() {
+		return nil, fmt.Errorf("core: object %d out of range [0, %d)", obj, e.ds.N())
+	}
+	q := newQuery(e, r, 1)
+	q.gridMapping()
+	bOi := bitmap.NewScratch(q.n)
+	mask := bitmap.NewScratch(q.n)
+	ctr := ctrSet{}
+	var neigh [27]grid.Key
+	q.exactScore(obj, bOi, mask, neigh[:0], &ctr)
+	out := make([]int, 0, bOi.Cardinality()-1)
+	bOi.ForEach(func(j int) bool {
+		if j != obj {
+			out = append(out, j)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// AllScores returns the exact score of every object at threshold r.
+// This is the full-scoring workload (no pruning pays off when every
+// score is requested), useful for score-distribution analysis such as
+// verifying the power-law shape of the Syn workload.
+func (e *Engine) AllScores(r float64) ([]int, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
+	}
+	q := newQuery(e, r, 1)
+	q.gridMapping()
+	scores := make([]int, q.n)
+	if t := e.opts.workers(); t > 1 {
+		for i := 0; i < q.n; i++ {
+			scores[i] = q.parallelExactScore(i)
+		}
+		return scores, nil
+	}
+	bOi := bitmap.NewScratch(q.n)
+	mask := bitmap.NewScratch(q.n)
+	ctr := ctrSet{}
+	var neigh [27]grid.Key
+	for i := 0; i < q.n; i++ {
+		scores[i] = q.exactScore(i, bOi, mask, neigh[:0], &ctr)
+	}
+	return scores, nil
+}
+
+// SweepResult pairs a threshold with its query result.
+type SweepResult struct {
+	R      float64
+	Result *Result
+}
+
+// Sweep runs top-k queries for every threshold in rs, in order. With a
+// label store configured this is the paper's headline workload
+// (§I-B, §III-D): fine-grained thresholds share ⌈r⌉, so later queries
+// reuse the labels collected by earlier ones.
+func (e *Engine) Sweep(rs []float64, k int) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(rs))
+	for _, r := range rs {
+		res, err := e.RunTopK(r, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at r=%g: %w", r, err)
+		}
+		out = append(out, SweepResult{R: r, Result: res})
+	}
+	return out, nil
+}
+
+// ScoreHistogram buckets a score vector into at most buckets
+// equal-width bins and returns the bin counts plus the bin width. It
+// supports eyeballing the power-law shape of score distributions.
+func ScoreHistogram(scores []int, buckets int) (counts []int, width int) {
+	if len(scores) == 0 || buckets < 1 {
+		return nil, 0
+	}
+	maxS := 0
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	width = maxS/buckets + 1
+	counts = make([]int, (maxS/width)+1)
+	for _, s := range scores {
+		counts[s/width]++
+	}
+	return counts, width
+}
+
+// TopPercentile returns the smallest score greater than or equal to
+// the given fraction (0..1] of all scores — e.g. 0.99 gives the 99th
+// percentile score.
+func TopPercentile(scores []int, frac float64) int {
+	if len(scores) == 0 {
+		return 0
+	}
+	cp := append([]int(nil), scores...)
+	sort.Ints(cp)
+	idx := int(frac*float64(len(cp))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

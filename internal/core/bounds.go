@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sort"
+
+	"mio/internal/bitmap"
+	"mio/internal/core/labelstore"
+)
+
+// ctrSet accumulates work counters. Each worker owns one; they are
+// summed into PhaseStats so hot loops never touch shared state.
+type ctrSet struct {
+	adjComputed int
+	distComps   int
+}
+
+func (q *query) addCounters(cs []ctrSet) {
+	for _, c := range cs {
+		q.stats.AdjComputed += c.adjComputed
+		q.stats.DistanceComps += c.distComps
+	}
+}
+
+// lowerBounding implements LOWER-BOUNDING(O, r) (Algorithm 4) and its
+// WITH-LABEL variant. It fills q.tauLow and returns the pruning
+// threshold: the maximum lower bound, or the k-th highest for the
+// top-k variant (§III-C).
+func (q *query) lowerBounding() int {
+	q.tauLow = make([]int32, q.n)
+	if q.labels != nil {
+		q.lbBits = make([]*bitmap.Compressed, q.n)
+	}
+	if q.e.opts.workers() > 1 {
+		q.parallelLowerBounding()
+	} else {
+		scratch := bitmap.NewScratch(q.n)
+		for i := 0; i < q.n; i++ {
+			if i&1023 == 0 && q.cancelled() {
+				break
+			}
+			q.lowerBoundObject(i, scratch)
+		}
+	}
+	return q.kthHighest(q.tauLow)
+}
+
+// lowerBoundObject computes τ^low(o_i) = |⋁_{K∈o_i.L} b(c_K)| − 1
+// (Lemma 1) into q.tauLow[i] using the provided scratch bitset.
+func (q *query) lowerBoundObject(i int, scratch *bitmap.Scratch) {
+	keys := q.idx.keyLists[i]
+	if len(keys) == 0 {
+		q.tauLow[i] = 0
+		return
+	}
+	scratch.Reset()
+	for _, k := range keys {
+		scratch.OrCompressed(q.idx.small.Cell(k).B)
+	}
+	q.tauLow[i] = int32(scratch.Cardinality() - 1)
+	if q.lbBits != nil {
+		q.lbBits[i] = scratch.ToCompressed()
+	}
+}
+
+// kthHighest returns the k-th highest value in vals (k = q.k), the
+// top-k pruning threshold.
+func (q *query) kthHighest(vals []int32) int {
+	if q.k == 1 {
+		best := int32(0)
+		for _, v := range vals {
+			if v > best {
+				best = v
+			}
+		}
+		return int(best)
+	}
+	cp := make([]int32, len(vals))
+	copy(cp, vals)
+	sort.Slice(cp, func(a, b int) bool { return cp[a] > cp[b] })
+	if q.k-1 < len(cp) {
+		return int(cp[q.k-1])
+	}
+	return 0
+}
+
+// candidate is an O_cand entry: an object surviving Theorem 2 pruning,
+// with its upper bound.
+type candidate struct {
+	obj    int32
+	tauUpp int32
+}
+
+// upperBounding implements UPPER-BOUNDING(O, r, τ^low_max)
+// (Algorithm 5) and its WITH-LABEL variant. It returns O_cand sorted by
+// descending upper bound.
+func (q *query) upperBounding(threshold int) []candidate {
+	q.tauUpp = make([]int32, q.n)
+	if q.e.opts.workers() > 1 {
+		q.parallelUpperBounding()
+	} else {
+		scratch := bitmap.NewScratch(q.n)
+		ctr := ctrSet{}
+		for i := 0; i < q.n; i++ {
+			if i&1023 == 0 && q.cancelled() {
+				break
+			}
+			q.upperBoundObject(i, scratch, &ctr)
+		}
+		q.addCounters([]ctrSet{ctr})
+	}
+	cand := make([]candidate, 0, q.n/4+1)
+	for i := 0; i < q.n; i++ {
+		if int(q.tauUpp[i]) >= threshold {
+			cand = append(cand, candidate{obj: int32(i), tauUpp: q.tauUpp[i]})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].tauUpp != cand[b].tauUpp {
+			return cand[a].tauUpp > cand[b].tauUpp
+		}
+		return cand[a].obj < cand[b].obj
+	})
+	return cand
+}
+
+// upperBoundObject computes τ^upp(o_i) (Lemma 2) into q.tauUpp[i],
+// computing b^adj cells on demand and emitting Labeling-1/-2 labels
+// when collecting.
+func (q *query) upperBoundObject(i int, scratch *bitmap.Scratch, ctr *ctrSet) {
+	scratch.Reset()
+	for _, g := range q.idx.groups[i] {
+		if q.labels != nil && !q.groupActiveUpper(i, g) {
+			continue
+		}
+		q.orGroupAdj(i, g, scratch, ctr)
+	}
+	tau := scratch.Cardinality() - 1
+	if tau < 0 {
+		tau = 0
+	}
+	q.tauUpp[i] = int32(tau)
+}
+
+// orGroupAdj ORs b^adj of the group's cell into scratch, materialising
+// the adjacency bitset if needed, and performs Labeling-1/-2.
+func (q *query) orGroupAdj(i int, g pointGroup, scratch *bitmap.Scratch, ctr *ctrSet) {
+	adj, fresh := q.idx.large.ComputeAdj(g.key)
+	if fresh {
+		ctr.adjComputed++
+		// Labeling-1 (Observation 1): a cell whose adjacency bitset
+		// holds a single object interacts with nobody; every point
+		// mapped into it can be pruned from all future queries with the
+		// same ⌈r⌉ (Lemma 3).
+		if q.newLabels != nil && adj.Cardinality() == 1 {
+			cell := q.idx.large.Cell(g.key)
+			for _, post := range cell.Postings {
+				for _, pt := range post.Idx {
+					q.newLabels.ClearBit(int(post.Obj), int(pt), labelstore.BitMapped)
+				}
+			}
+		}
+	}
+	prev := scratch.Cardinality()
+	scratch.OrCompressed(adj)
+	if q.newLabels != nil {
+		// Labeling-2 (Observation 2): points whose OR left b(o_i)
+		// unchanged are skippable in future upper-bounding. When the OR
+		// did contribute, the group's first point is the contributor
+		// and keeps its label.
+		pts := g.pts
+		if scratch.Cardinality() != prev {
+			pts = pts[1:]
+		}
+		for _, pt := range pts {
+			q.newLabels.ClearBit(i, int(pt), labelstore.BitUpper)
+		}
+	}
+}
+
+// groupActiveUpper reports whether any point of the group still carries
+// the upper-bounding label bit (the WITH-LABEL filter of Algorithm 5
+// line 5).
+func (q *query) groupActiveUpper(i int, g pointGroup) bool {
+	for _, pt := range g.pts {
+		if q.labels.Get(i, int(pt))&labelstore.BitUpper != 0 {
+			return true
+		}
+	}
+	return false
+}

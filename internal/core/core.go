@@ -1,0 +1,228 @@
+// Package core implements the paper's MIO query processing pipeline:
+// online BIGrid construction (Algorithm 3), lower-bounding with the
+// small-grid (Algorithm 4), upper-bounding and pruning with the
+// large-grid (Algorithm 5), best-first verification with early
+// termination (Algorithm 6, Corollary 1), the top-k variant, the
+// point-labeling scheme that recycles work across queries sharing ⌈r⌉
+// (§III-D), the parallel variants of every phase (§IV), and the
+// temporal extension (Appendix B).
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+)
+
+// LBStrategy selects the parallel lower-bounding partitioning of §IV.
+type LBStrategy int
+
+const (
+	// LBGreedyD partitions the object set O across cores with a greedy
+	// multiway number partition on key-list sizes ("dividing O").
+	LBGreedyD LBStrategy = iota
+	// LBHashP partitions each object's key list across cores with local
+	// bitsets merged afterwards ("dividing P_i").
+	LBHashP
+)
+
+func (s LBStrategy) String() string {
+	if s == LBHashP {
+		return "LB-hash-p"
+	}
+	return "LB-greedy-d"
+}
+
+// UBStrategy selects the parallel upper-bounding partitioning of §IV.
+type UBStrategy int
+
+const (
+	// UBGreedyP assigns point groups P_{i,K} to cores greedily using the
+	// Eq. (3) cost model.
+	UBGreedyP UBStrategy = iota
+	// UBGreedyD greedily partitions O by |P_i|, ignoring per-point cost
+	// differences (the paper's strawman competitor).
+	UBGreedyD
+)
+
+func (s UBStrategy) String() string {
+	if s == UBGreedyD {
+		return "UB-greedy-d"
+	}
+	return "UB-greedy-p"
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Dims is the data dimensionality, 2 or 3 (default 3). It only
+	// affects the small-grid cell width (r/√2 vs r/√3).
+	Dims int
+	// Workers is the number of CPU cores to use; values below 2 select
+	// the single-core algorithms of §III.
+	Workers int
+	// LB and UB pick the parallel partitioning strategies (§IV). They
+	// are ignored when Workers < 2.
+	LB LBStrategy
+	UB UBStrategy
+	// Labels, when non-nil, enables §III-D: queries consult the store
+	// for labels matching ⌈r⌉ and, when none exist, collect and save
+	// them as a side effect.
+	Labels *labelstore.Store
+	// CollectLabels disables label collection when false even though a
+	// store is configured (useful to measure the plain algorithm).
+	// Default true when Labels is set.
+	DisableCollect bool
+}
+
+func (o Options) dims() int {
+	if o.Dims == 2 {
+		return 2
+	}
+	return 3
+}
+
+func (o Options) workers() int {
+	if o.Workers < 2 {
+		return 1
+	}
+	return o.Workers
+}
+
+// Scored pairs an object id with its exact MIO score.
+type Scored struct {
+	Obj   int
+	Score int
+}
+
+// PhaseStats records the per-phase wall-clock breakdown of one query
+// (the paper's Table II) plus work counters.
+type PhaseStats struct {
+	LabelInput    time.Duration
+	GridMapping   time.Duration
+	LowerBounding time.Duration
+	UpperBounding time.Duration
+	Verification  time.Duration
+
+	UsedLabels    bool // ran the §III-D variants
+	LabelBytes    int  // size of the label set read (O(nm) per §III-D)
+	Candidates    int  // |O_cand| after upper-bounding
+	Verified      int  // objects whose exact score was computed
+	DistanceComps int  // point-pair distance evaluations
+	AdjComputed   int  // b^adj cells materialised
+
+	SmallCells int
+	LargeCells int
+	IndexBytes int // BIGrid memory footprint
+	// Compression accounting (footnote 4 of the paper): the small-grid
+	// bitset payload as stored vs what dense n-bit-per-cell bitsets
+	// would occupy.
+	SmallGridBytes             int
+	SmallGridUncompressedBytes int
+	LargeGridBytes             int
+}
+
+// Total returns the end-to-end processing time.
+func (s PhaseStats) Total() time.Duration {
+	return s.LabelInput + s.GridMapping + s.LowerBounding + s.UpperBounding + s.Verification
+}
+
+// Result is the answer to an MIO query.
+type Result struct {
+	// Best is the most interactive object and its score. For k > 1 it
+	// is TopK[0].
+	Best Scored
+	// TopK holds the k best objects in non-increasing score order.
+	TopK  []Scored
+	Stats PhaseStats
+}
+
+// Engine processes MIO queries over one static, memory-resident
+// dataset.
+type Engine struct {
+	ds   *data.Dataset
+	opts Options
+}
+
+// NewEngine returns an engine over ds. The dataset must satisfy
+// Validate and must not be mutated afterwards.
+func NewEngine(ds *data.Dataset, opts Options) (*Engine, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if opts.Dims != 0 && opts.Dims != 2 && opts.Dims != 3 {
+		return nil, fmt.Errorf("core: invalid Dims %d (want 2 or 3)", opts.Dims)
+	}
+	return &Engine{ds: ds, opts: opts}, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *data.Dataset { return e.ds }
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Run processes an MIO query with threshold r and returns the most
+// interactive object.
+func (e *Engine) Run(r float64) (*Result, error) { return e.RunTopK(r, 1) }
+
+// RunTopK processes the top-k variant: the k objects with the highest
+// scores (§III-C). k is clamped to the dataset size.
+func (e *Engine) RunTopK(r float64, k int) (*Result, error) {
+	return e.RunTopKContext(context.Background(), r, k)
+}
+
+// RunContext is Run with cancellation: the query checks ctx between
+// pipeline phases and periodically inside them, returning ctx.Err()
+// once observed.
+func (e *Engine) RunContext(ctx context.Context, r float64) (*Result, error) {
+	return e.RunTopKContext(ctx, r, 1)
+}
+
+// RunTopKContext is RunTopK with cancellation.
+func (e *Engine) RunTopKContext(ctx context.Context, r float64, k int) (*Result, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be at least 1, got %d", k)
+	}
+	if k > e.ds.N() {
+		k = e.ds.N()
+	}
+	q := newQuery(e, r, k)
+	q.ctx = ctx
+	return q.run()
+}
+
+// Explain renders a human-readable account of what the pipeline did
+// for this result: phase times, pruning effectiveness and index
+// footprint. It is a debugging and teaching aid, not a stable format.
+func (r *Result) Explain(n int) string {
+	st := r.Stats
+	var b strings.Builder
+	fmt.Fprintf(&b, "answer: object %d with score %d (top-%d returned)\n",
+		r.Best.Obj, r.Best.Score, len(r.TopK))
+	if st.UsedLabels {
+		fmt.Fprintf(&b, "labels: reused %.2f MiB of per-point labels (loaded in %v)\n",
+			float64(st.LabelBytes)/(1<<20), st.LabelInput)
+	}
+	fmt.Fprintf(&b, "grid mapping:   %10v  (%d small cells, %d large cells, %.2f MiB index)\n",
+		st.GridMapping, st.SmallCells, st.LargeCells, float64(st.IndexBytes)/(1<<20))
+	fmt.Fprintf(&b, "lower bounding: %10v\n", st.LowerBounding)
+	fmt.Fprintf(&b, "upper bounding: %10v  (%d adjacency bitsets built)\n",
+		st.UpperBounding, st.AdjComputed)
+	pruned := n - st.Candidates
+	fmt.Fprintf(&b, "pruning:        %d of %d objects eliminated without any distance computation (%.1f%%)\n",
+		pruned, n, 100*float64(pruned)/float64(max(n, 1)))
+	fmt.Fprintf(&b, "verification:   %10v  (%d of %d candidates verified, %d distance computations)\n",
+		st.Verification, st.Verified, st.Candidates, st.DistanceComps)
+	fmt.Fprintf(&b, "total:          %10v\n", st.Total())
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"mio/internal/bitmap"
+	"mio/internal/core/labelstore"
+	"mio/internal/grid"
+)
+
+// pointGroup is P_{i,K}: the points of one object sharing a large-grid
+// key. Grouping is established during grid mapping (for free, as the
+// paper notes in §IV) and drives both the per-object key deduplication
+// of upper-bounding and the cost-based parallel partitioning.
+type pointGroup struct {
+	key grid.Key
+	pts []int32 // indices into the object's point slice
+}
+
+// bigrid is the BIGrid built online for one query, together with the
+// per-object access structures of Algorithm 3.
+type bigrid struct {
+	small *grid.SmallGrid
+	large *grid.LargeGrid
+	// keyLists[i] is o_i.L: the small-grid keys of cells that o_i
+	// shares with at least one other object.
+	keyLists [][]grid.Key
+	// groups[i] are o_i's large-grid point groups P_{i,K}, in first-
+	// occurrence order.
+	groups [][]pointGroup
+}
+
+// sizeBytes estimates the BIGrid memory footprint.
+func (b *bigrid) sizeBytes() int {
+	total := b.small.SizeBytes() + b.large.SizeBytes()
+	for _, kl := range b.keyLists {
+		total += 24 + len(kl)*12
+	}
+	for _, gs := range b.groups {
+		total += 24
+		for _, g := range gs {
+			total += 12 + 24 + len(g.pts)*4
+		}
+	}
+	return total
+}
+
+// query carries the state of one MIO query through the four phases.
+type query struct {
+	e *Engine
+	r float64
+	k int
+	n int
+
+	r2 float64 // r²
+
+	idx *bigrid
+
+	// Labels loaded for ⌈r⌉ (nil when none) and labels being collected
+	// (nil when not collecting).
+	labels    *labelstore.Labels
+	newLabels *labelstore.Labels
+
+	// Lower-bound bitsets kept for the label-aware verification
+	// (§III-D: "we maintain b(o_i) to utilize this in the verification
+	// step"). Only populated on label-aware runs.
+	lbBits []*bitmap.Compressed
+
+	tauLow []int32
+	tauUpp []int32
+
+	// Per-worker scratch bitsets for parallel verification, allocated
+	// lazily on the first verified candidate.
+	vBOi  []*bitmap.Scratch
+	vMask []*bitmap.Scratch
+
+	// ctx carries the caller's cancellation; nil means background.
+	ctx context.Context
+
+	stats PhaseStats
+}
+
+func newQuery(e *Engine, r float64, k int) *query {
+	return &query{
+		e:  e,
+		r:  r,
+		k:  k,
+		n:  e.ds.N(),
+		r2: r * r,
+	}
+}
+
+// ceilR returns the large-grid identity ⌈r⌉ used as the label key.
+func (q *query) ceilR() int { return int(math.Ceil(q.r)) }
+
+// cancelled reports whether the caller has abandoned the query. Hot
+// loops call this every few hundred objects, not per item.
+func (q *query) cancelled() bool {
+	if q.ctx == nil {
+		return false
+	}
+	select {
+	case <-q.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// run executes the framework of Algorithm 2.
+func (q *query) run() (*Result, error) {
+	// Label input (§III-D): O(1) existence check, then the O(nm/B)
+	// load, both timed as the paper's "Label-Input" row.
+	if store := q.e.opts.Labels; store != nil {
+		t0 := time.Now()
+		if l, ok := store.Get(q.ceilR()); ok {
+			q.labels = l
+			q.stats.UsedLabels = true
+			q.stats.LabelBytes = l.SizeBytes()
+		} else if !q.e.opts.DisableCollect {
+			counts := make([]int, q.n)
+			for i := range q.e.ds.Objects {
+				counts[i] = len(q.e.ds.Objects[i].Pts)
+			}
+			q.newLabels = labelstore.NewLabels(counts)
+		}
+		q.stats.LabelInput = time.Since(t0)
+	}
+
+	t0 := time.Now()
+	q.gridMapping()
+	q.stats.GridMapping = time.Since(t0)
+	q.stats.SmallCells = q.idx.small.Len()
+	q.stats.LargeCells = q.idx.large.Len()
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	t0 = time.Now()
+	threshold := q.lowerBounding()
+	q.stats.LowerBounding = time.Since(t0)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	t0 = time.Now()
+	cand := q.upperBounding(threshold)
+	q.stats.UpperBounding = time.Since(t0)
+	q.stats.Candidates = len(cand)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	t0 = time.Now()
+	topk := q.verification(cand)
+	q.stats.Verification = time.Since(t0)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	q.stats.IndexBytes = q.idx.sizeBytes()
+	q.stats.SmallGridBytes = q.idx.small.SizeBytes()
+	q.stats.SmallGridUncompressedBytes = q.idx.small.UncompressedSizeBytes(q.n)
+	q.stats.LargeGridBytes = q.idx.large.SizeBytes()
+
+	// Post-processing: publish collected labels (§III-D "labels are
+	// outputted in post-processing").
+	if q.newLabels != nil {
+		if err := q.e.opts.Labels.Put(q.ceilR(), q.newLabels); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{TopK: topk, Stats: q.stats}
+	if len(topk) > 0 {
+		res.Best = topk[0]
+	}
+	return res, nil
+}
+
+// skipPoint reports whether loaded labels prune point pt of object obj
+// entirely (label 0**, Lemma 3).
+func (q *query) skipPoint(obj, pt int) bool {
+	return q.labels != nil && q.labels.Get(obj, pt)&labelstore.BitMapped == 0
+}
+
+// gridMapping implements GRID-MAPPING(O, r) (Algorithm 3) and its
+// WITH-LABEL variant, dispatching to the parallel builder when
+// configured.
+func (q *query) gridMapping() {
+	if q.e.opts.workers() > 1 {
+		q.parallelGridMapping()
+		return
+	}
+	q.idx = q.buildRange(0, q.n)
+}
+
+// buildRange builds a BIGrid over objects [lo, hi). With lo > 0 the
+// result is a partial grid used by the parallel builder; partial grids
+// have nil keyLists (key lists are derived after merging).
+func (q *query) buildRange(lo, hi int) *bigrid {
+	dims := q.e.opts.dims()
+	b := &bigrid{
+		small:  grid.NewSmallGrid(grid.SmallWidth(q.r, dims)),
+		large:  grid.NewLargeGrid(grid.LargeWidth(q.r), q.n),
+		groups: make([][]pointGroup, q.n),
+	}
+	full := lo == 0 && hi == q.n
+	if full {
+		b.keyLists = make([][]grid.Key, q.n)
+	}
+	for i := lo; i < hi; i++ {
+		obj := &q.e.ds.Objects[i]
+		for j, p := range obj.Pts {
+			if q.skipPoint(i, j) {
+				continue
+			}
+			// Small-grid side (Algorithm 3 lines 3-13).
+			if full {
+				k, before, after, cell := b.small.Add(i, p)
+				if after == 2 && before == 1 {
+					first := cell.FirstObject()
+					b.keyLists[first] = append(b.keyLists[first], k)
+					b.keyLists[i] = append(b.keyLists[i], k)
+				} else if after > 2 && after != before {
+					b.keyLists[i] = append(b.keyLists[i], k)
+				}
+			} else {
+				b.small.Add(i, p)
+			}
+			// Large-grid side (lines 14-21).
+			b.large.Add(i, j, p)
+		}
+	}
+	// Derive the point groups P_{i,K} from the inverted lists — each
+	// posting is exactly one group, so the grouping the parallel phases
+	// need comes for free from grid building (§IV). The group's point
+	// slice aliases the posting's index slice; both are read-only after
+	// construction.
+	b.large.ForEach(func(k grid.Key, c *grid.LargeCell) {
+		for pi := range c.Postings {
+			post := &c.Postings[pi]
+			b.groups[post.Obj] = append(b.groups[post.Obj], pointGroup{key: k, pts: post.Idx})
+		}
+	})
+	return b
+}

@@ -1,0 +1,233 @@
+// Package labelstore persists the per-point labels of §III-D. A label
+// is three bits (Definition 4), initialised to 111:
+//
+//	bit 0 (Labeling-1): 0 ⇒ the point interacts with no other object at
+//	  any r with this ⌈r⌉ — it can be skipped everywhere, including
+//	  grid mapping (Lemma 3).
+//	bit 1 (Labeling-2): 0 ⇒ the point's b^adj OR contributed nothing
+//	  during upper-bounding — skip it there.
+//	bit 2 (Labeling-3): 0 ⇒ the point's candidate mask was empty during
+//	  verification — skip it there.
+//
+// Labels are specific to the large-grid, i.e. to ⌈r⌉: every query whose
+// threshold shares the ceiling can reuse them. The number of issued
+// queries is unbounded, so the store can spill label sets to external
+// memory (one file per ⌈r⌉) and load them back on demand, matching the
+// paper's O(nm/B) I/O analysis.
+package labelstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Label bit masks.
+const (
+	BitMapped uint8 = 1 << 0 // Labeling-1 (cleared ⇒ prune point entirely)
+	BitUpper  uint8 = 1 << 1 // Labeling-2 (cleared ⇒ skip in upper-bounding)
+	BitVerify uint8 = 1 << 2 // Labeling-3 (cleared ⇒ skip in verification)
+
+	// Initial is the all-ones label every point starts with.
+	Initial uint8 = BitMapped | BitUpper | BitVerify
+)
+
+// Labels holds one label byte per point of every object, for one ⌈r⌉.
+type Labels struct {
+	// PerObject[i][j] is the label of point j of object i.
+	PerObject [][]uint8
+}
+
+// NewLabels allocates all-ones labels for objects with the given point
+// counts.
+func NewLabels(pointCounts []int) *Labels {
+	l := &Labels{PerObject: make([][]uint8, len(pointCounts))}
+	for i, n := range pointCounts {
+		row := make([]uint8, n)
+		for j := range row {
+			row[j] = Initial
+		}
+		l.PerObject[i] = row
+	}
+	return l
+}
+
+// Get returns the label of point j of object i.
+func (l *Labels) Get(obj, pt int) uint8 { return l.PerObject[obj][pt] }
+
+// ClearBit clears the given label bit of point j of object i.
+func (l *Labels) ClearBit(obj, pt int, bit uint8) { l.PerObject[obj][pt] &^= bit }
+
+// SizeBytes returns the label payload size (the paper's O(nm) space).
+func (l *Labels) SizeBytes() int {
+	n := 0
+	for _, row := range l.PerObject {
+		n += len(row)
+	}
+	return n
+}
+
+// Counts returns, per label bit, how many points have it cleared.
+func (l *Labels) Counts() (mapped, upper, verify int) {
+	for _, row := range l.PerObject {
+		for _, v := range row {
+			if v&BitMapped == 0 {
+				mapped++
+			}
+			if v&BitUpper == 0 {
+				upper++
+			}
+			if v&BitVerify == 0 {
+				verify++
+			}
+		}
+	}
+	return
+}
+
+// Store keeps label sets keyed by ⌈r⌉. With a Dir configured, Put
+// writes each label set to disk and Get reads it back, so labels
+// survive beyond memory as §III-D prescribes; without a Dir the store
+// is purely in-memory.
+type Store struct {
+	mu    sync.Mutex
+	mem   map[int]*Labels
+	dir   string
+	cache bool // keep disk-backed label sets in memory too
+}
+
+// NewStore returns an in-memory label store.
+func NewStore() *Store {
+	return &Store{mem: make(map[int]*Labels), cache: true}
+}
+
+// NewDiskStore returns a store that persists label sets under dir
+// (created if needed). Label sets are still served from memory once
+// loaded.
+func NewDiskStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("labelstore: %w", err)
+	}
+	return &Store{mem: make(map[int]*Labels), dir: dir, cache: true}, nil
+}
+
+func (s *Store) path(ceil int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("labels-%d.bin", ceil))
+}
+
+// Put stores the labels for the given ⌈r⌉, replacing any previous set.
+func (s *Store) Put(ceil int, l *Labels) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[ceil] = l
+	if s.dir == "" {
+		return nil
+	}
+	data := marshalLabels(l)
+	if err := os.WriteFile(s.path(ceil), data, 0o644); err != nil {
+		return fmt.Errorf("labelstore: write: %w", err)
+	}
+	return nil
+}
+
+// Get returns the labels for the given ⌈r⌉, or (nil, false) when none
+// exist. Disk-backed sets are loaded on first access.
+func (s *Store) Get(ceil int) (*Labels, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.mem[ceil]; ok {
+		return l, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(ceil))
+	if err != nil {
+		return nil, false
+	}
+	l, err := unmarshalLabels(data)
+	if err != nil {
+		return nil, false
+	}
+	if s.cache {
+		s.mem[ceil] = l
+	}
+	return l, true
+}
+
+// Has reports whether labels exist for the given ⌈r⌉ without loading
+// them.
+func (s *Store) Has(ceil int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[ceil]; ok {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.path(ceil))
+	return err == nil
+}
+
+// Drop removes the labels for the given ⌈r⌉ from memory and disk.
+func (s *Store) Drop(ceil int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.mem, ceil)
+	if s.dir != "" {
+		os.Remove(s.path(ceil))
+	}
+}
+
+const labelMagic = uint64(0x4d494f4c41424c31) // "MIOLABL1"
+
+func marshalLabels(l *Labels) []byte {
+	size := 16
+	for _, row := range l.PerObject {
+		size += 8 + len(row)
+	}
+	buf := make([]byte, 0, size)
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], labelMagic)
+	buf = append(buf, u[:]...)
+	binary.LittleEndian.PutUint64(u[:], uint64(len(l.PerObject)))
+	buf = append(buf, u[:]...)
+	for _, row := range l.PerObject {
+		binary.LittleEndian.PutUint64(u[:], uint64(len(row)))
+		buf = append(buf, u[:]...)
+		buf = append(buf, row...)
+	}
+	return buf
+}
+
+func unmarshalLabels(data []byte) (*Labels, error) {
+	if len(data) < 16 {
+		return nil, errors.New("labelstore: truncated header")
+	}
+	if binary.LittleEndian.Uint64(data) != labelMagic {
+		return nil, errors.New("labelstore: bad magic")
+	}
+	n := int(binary.LittleEndian.Uint64(data[8:]))
+	pos := 16
+	l := &Labels{PerObject: make([][]uint8, n)}
+	for i := 0; i < n; i++ {
+		if pos+8 > len(data) {
+			return nil, errors.New("labelstore: truncated row header")
+		}
+		m := int(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		if pos+m > len(data) {
+			return nil, errors.New("labelstore: truncated row")
+		}
+		l.PerObject[i] = append([]uint8(nil), data[pos:pos+m]...)
+		pos += m
+	}
+	if pos != len(data) {
+		return nil, errors.New("labelstore: trailing bytes")
+	}
+	return l, nil
+}

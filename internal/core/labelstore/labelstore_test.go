@@ -1,0 +1,144 @@
+package labelstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLabelsBasics(t *testing.T) {
+	l := NewLabels([]int{3, 0, 2})
+	if got := l.Get(0, 0); got != Initial {
+		t.Fatalf("initial label = %b", got)
+	}
+	l.ClearBit(0, 1, BitUpper)
+	if l.Get(0, 1)&BitUpper != 0 {
+		t.Fatal("ClearBit failed")
+	}
+	if l.Get(0, 1)&BitMapped == 0 || l.Get(0, 1)&BitVerify == 0 {
+		t.Fatal("ClearBit touched other bits")
+	}
+	l.ClearBit(2, 0, BitMapped)
+	l.ClearBit(2, 1, BitVerify)
+	m, u, v := l.Counts()
+	if m != 1 || u != 1 || v != 1 {
+		t.Fatalf("counts = %d %d %d", m, u, v)
+	}
+	if l.SizeBytes() != 5 {
+		t.Fatalf("size = %d", l.SizeBytes())
+	}
+}
+
+func TestStoreInMemory(t *testing.T) {
+	s := NewStore()
+	if s.Has(4) {
+		t.Fatal("empty store Has")
+	}
+	if _, ok := s.Get(4); ok {
+		t.Fatal("empty store Get")
+	}
+	l := NewLabels([]int{2, 2})
+	l.ClearBit(1, 0, BitVerify)
+	if err := s.Put(4, l); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(4) {
+		t.Fatal("Has after Put")
+	}
+	got, ok := s.Get(4)
+	if !ok || got.Get(1, 0)&BitVerify != 0 {
+		t.Fatal("Get mismatch")
+	}
+	s.Drop(4)
+	if s.Has(4) {
+		t.Fatal("Drop failed")
+	}
+}
+
+func TestStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLabels([]int{3, 1})
+	l.ClearBit(0, 2, BitMapped)
+	l.ClearBit(1, 0, BitUpper)
+	if err := s.Put(7, l); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same dir must load from disk.
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(7) {
+		t.Fatal("disk store lost labels")
+	}
+	got, ok := s2.Get(7)
+	if !ok {
+		t.Fatal("Get from disk failed")
+	}
+	if got.Get(0, 2)&BitMapped != 0 || got.Get(1, 0)&BitUpper != 0 {
+		t.Fatal("disk round-trip lost bits")
+	}
+	if got.Get(0, 0) != Initial {
+		t.Fatal("disk round-trip corrupted untouched label")
+	}
+	s2.Drop(7)
+	if s2.Has(7) {
+		t.Fatal("Drop on disk store failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "labels-7.bin")); !os.IsNotExist(err) {
+		t.Fatal("label file survived Drop")
+	}
+}
+
+func TestUnmarshalLabelErrors(t *testing.T) {
+	if _, err := unmarshalLabels(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := unmarshalLabels(make([]byte, 16)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good := marshalLabels(NewLabels([]int{2}))
+	if _, err := unmarshalLabels(good[:len(good)-1]); err == nil {
+		t.Error("truncated accepted")
+	}
+	if _, err := unmarshalLabels(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if back, err := unmarshalLabels(good); err != nil || len(back.PerObject) != 1 {
+		t.Errorf("good payload rejected: %v", err)
+	}
+}
+
+func TestDiskStoreBadDir(t *testing.T) {
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(filepath.Join(f, "sub")); err == nil {
+		t.Error("dir under file accepted")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				ceil := w%3 + 1
+				s.Put(ceil, NewLabels([]int{4}))
+				s.Get(ceil)
+				s.Has(ceil)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"mio/internal/bitmap"
+	"mio/internal/core/labelstore"
+	"mio/internal/grid"
+	"mio/internal/parallel"
+)
+
+// This file implements §IV — parallel MIO query processing. Every phase
+// follows the paper's local-bitset design: each worker owns private
+// scratch bitsets and counters, so no synchronization happens inside
+// the loops; results are merged after each barrier.
+
+// parallelGridMapping implements PARALLEL-GRID-MAPPING(O, r). Workers
+// build partial BIGrids over contiguous, point-count-balanced object
+// ranges (keeping the monotone object order the compressed bitsets
+// rely on), and the partial grids are merged. Key lists are derived
+// from the merged small-grid: o_i.L = {K : i ∈ b(c_K), |b(c_K)| ≥ 2},
+// which is exactly the invariant Algorithm 3 maintains incrementally.
+func (q *query) parallelGridMapping() {
+	t := q.e.opts.workers()
+	weights := make([]int, q.n)
+	for i := range q.e.ds.Objects {
+		weights[i] = len(q.e.ds.Objects[i].Pts)
+	}
+	ranges := parallel.Ranges(weights, t)
+	parts := make([]*bigrid, len(ranges))
+	parallel.Run(len(ranges), func(w int) {
+		parts[w] = q.buildRange(ranges[w][0], ranges[w][1])
+	})
+
+	base := parts[0]
+	for _, p := range parts[1:] {
+		base.small.MergeFrom(p.small)
+		base.large.MergeFrom(p.large)
+		for i, gs := range p.groups {
+			if len(gs) > 0 {
+				base.groups[i] = gs
+			}
+		}
+	}
+	base.keyLists = make([][]grid.Key, q.n)
+	base.small.ForEach(func(k grid.Key, c *grid.SmallCell) {
+		if c.B.Cardinality() < 2 {
+			return
+		}
+		c.B.ForEach(func(obj int) bool {
+			base.keyLists[obj] = append(base.keyLists[obj], k)
+			return true
+		})
+	})
+	q.idx = base
+}
+
+// parallelLowerBounding implements PARALLEL-LOWER-BOUNDING(O, r) with
+// either of the two §IV strategies.
+func (q *query) parallelLowerBounding() {
+	t := q.e.opts.workers()
+	switch q.e.opts.LB {
+	case LBHashP:
+		// Divide each object's key list across cores; local bitsets
+		// avoid synchronization on b(o_i) and are merged per object.
+		locals := make([]*bitmap.Scratch, t)
+		for w := range locals {
+			locals[w] = bitmap.NewScratch(q.n)
+		}
+		for i := 0; i < q.n; i++ {
+			keys := q.idx.keyLists[i]
+			if len(keys) == 0 {
+				q.tauLow[i] = 0
+				continue
+			}
+			parallel.Run(t, func(w int) {
+				locals[w].Reset()
+				for j := w; j < len(keys); j += t {
+					locals[w].OrCompressed(q.idx.small.Cell(keys[j]).B)
+				}
+			})
+			for w := 1; w < t; w++ {
+				locals[0].OrScratch(locals[w])
+			}
+			q.tauLow[i] = int32(locals[0].Cardinality() - 1)
+			if q.lbBits != nil {
+				q.lbBits[i] = locals[0].ToCompressed()
+			}
+		}
+	default: // LBGreedyD
+		// Divide O across cores with the greedy multiway partition on
+		// key-list sizes; no synchronization at all.
+		weights := make([]int, q.n)
+		for i := range weights {
+			weights[i] = len(q.idx.keyLists[i])
+		}
+		buckets := parallel.Greedy(weights, t)
+		parallel.Run(t, func(w int) {
+			scratch := bitmap.NewScratch(q.n)
+			for _, i := range buckets[w] {
+				q.lowerBoundObject(i, scratch)
+			}
+		})
+	}
+}
+
+// parallelUpperBounding implements PARALLEL-UPPER-BOUNDING with either
+// the cost-based point-group partition (UB-greedy-p) or the object
+// partition strawman (UB-greedy-d).
+func (q *query) parallelUpperBounding() {
+	t := q.e.opts.workers()
+	ctrs := make([]ctrSet, t)
+	switch q.e.opts.UB {
+	case UBGreedyD:
+		// Greedy partition of O by |P_i|, ignoring the per-point cost
+		// differences — the paper's competitor, kept for Fig. 8.
+		weights := make([]int, q.n)
+		for i := range q.e.ds.Objects {
+			weights[i] = len(q.e.ds.Objects[i].Pts)
+		}
+		buckets := parallel.Greedy(weights, t)
+		parallel.Run(t, func(w int) {
+			scratch := bitmap.NewScratch(q.n)
+			for _, i := range buckets[w] {
+				q.upperBoundObject(i, scratch, &ctrs[w])
+			}
+		})
+	default: // UBGreedyP
+		// Cost model of Eq. (3): a group whose cell lacks b^adj costs a
+		// 27-cell union; one whose cell has it costs a single OR. The
+		// labeling term |P_{i,K}| is omitted when labels are in use.
+		locals := make([]*bitmap.Scratch, t)
+		for w := range locals {
+			locals[w] = bitmap.NewScratch(q.n)
+		}
+		costs := make([]int, 0, 64)
+		active := make([]int, 0, 64)
+		for i := 0; i < q.n; i++ {
+			costs = costs[:0]
+			active = active[:0]
+			for gi, g := range q.idx.groups[i] {
+				if q.labels != nil && !q.groupActiveUpper(i, g) {
+					continue
+				}
+				cost := 1 // Cost(b): one bitwise OR
+				if q.idx.large.Cell(g.key).Adj() == nil {
+					cost = 27
+				}
+				if q.labels == nil {
+					cost += len(g.pts) // per-point labeling cost
+				}
+				active = append(active, gi)
+				costs = append(costs, cost)
+			}
+			if len(active) == 0 {
+				q.tauUpp[i] = 0
+				continue
+			}
+			buckets := parallel.Greedy(costs, t)
+			parallel.Run(t, func(w int) {
+				locals[w].Reset()
+				for _, ai := range buckets[w] {
+					q.orGroupAdj(i, q.idx.groups[i][active[ai]], locals[w], &ctrs[w])
+				}
+			})
+			for w := 1; w < t; w++ {
+				locals[0].OrScratch(locals[w])
+			}
+			tau := locals[0].Cardinality() - 1
+			if tau < 0 {
+				tau = 0
+			}
+			q.tauUpp[i] = int32(tau)
+		}
+	}
+	q.addCounters(ctrs)
+}
+
+// parallelExactScore implements PARALLEL-VERIFICATION's per-candidate
+// work: the points of each group P_{i,K} are split uniformly across
+// cores (round-robin within the group, as §IV prescribes), each worker
+// probes with a local b(o_i) and mask, and the local bitsets are merged
+// at the end.
+func (q *query) parallelExactScore(i int) int {
+	t := q.e.opts.workers()
+	if q.vBOi == nil {
+		q.vBOi = make([]*bitmap.Scratch, t)
+		q.vMask = make([]*bitmap.Scratch, t)
+		for w := 0; w < t; w++ {
+			q.vBOi[w] = bitmap.NewScratch(q.n)
+			q.vMask[w] = bitmap.NewScratch(q.n)
+		}
+	}
+	obj := &q.e.ds.Objects[i]
+
+	// Distribute each group's points round-robin across workers so
+	// that every core sees a uniform mixture of cells.
+	assign := make([][]int32, t)
+	for _, g := range q.idx.groups[i] {
+		w := 0
+		for _, pt := range g.pts {
+			if q.labels != nil {
+				l := q.labels.Get(i, int(pt))
+				if l&labelstore.BitMapped == 0 || l&labelstore.BitVerify == 0 {
+					continue
+				}
+			}
+			assign[w%t] = append(assign[w%t], pt)
+			w++
+		}
+	}
+
+	ctrs := make([]ctrSet, t)
+	parallel.Run(t, func(w int) {
+		bOi := q.vBOi[w]
+		mask := q.vMask[w]
+		bOi.Reset()
+		bOi.Set(i)
+		if q.lbBits != nil && q.lbBits[i] != nil {
+			bOi.OrCompressed(q.lbBits[i])
+		}
+		var neigh [27]grid.Key
+		st := scoreState{}
+		for _, pt := range assign[w] {
+			q.scorePoint(i, int(pt), obj.Pts[pt], bOi, mask, neigh[:0], &ctrs[w], &st)
+		}
+	})
+	for w := 1; w < t; w++ {
+		q.vBOi[0].OrScratch(q.vBOi[w])
+	}
+	q.addCounters(ctrs)
+	return q.vBOi[0].Cardinality() - 1
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mio/internal/bitmap"
+	"mio/internal/data"
+	"mio/internal/geom"
+	"mio/internal/grid"
+	"mio/internal/parallel"
+)
+
+// This file implements the temporal extension of Appendix B: objects
+// interact iff they have a point pair within distance r generated
+// within δ time of each other. The time domain is decomposed into δ
+// buckets and a BIGrid-style structure is built per bucket; two points
+// in the same bucket always satisfy the temporal constraint (bucket
+// span < δ), so same-bucket small-grid cells give lower bounds, while
+// upper-bounding and verification consult a bucket and its two
+// neighbours. δ = 0 is the special case the appendix calls out: one
+// structure per distinct generation time, consulted alone.
+
+// tKey addresses a cell of one time bucket's grid.
+type tKey struct {
+	bucket int32
+	cell   grid.Key
+}
+
+// tPosting mirrors grid.Posting with per-point generation times.
+type tPosting struct {
+	obj   int32
+	pts   []geom.Point
+	times []float64
+}
+
+type tCell struct {
+	b        *bitmap.Compressed
+	postings []tPosting
+}
+
+func (c *tCell) posting(obj int) *tPosting {
+	i := sort.Search(len(c.postings), func(i int) bool { return int(c.postings[i].obj) >= obj })
+	if i < len(c.postings) && int(c.postings[i].obj) == obj {
+		return &c.postings[i]
+	}
+	return nil
+}
+
+// TemporalEngine processes spatio-temporal MIO queries over a dataset
+// whose points carry generation times.
+type TemporalEngine struct {
+	ds   *data.Dataset
+	opts Options
+}
+
+// NewTemporalEngine returns an engine over ds, whose objects must all
+// carry timestamps.
+func NewTemporalEngine(ds *data.Dataset, opts Options) (*TemporalEngine, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	for i := range ds.Objects {
+		if !ds.Objects[i].Temporal() {
+			return nil, fmt.Errorf("core: object %d has no timestamps", i)
+		}
+	}
+	return &TemporalEngine{ds: ds, opts: opts}, nil
+}
+
+// tQuery is the per-query state of the temporal pipeline.
+type tQuery struct {
+	e     *TemporalEngine
+	r, r2 float64
+	delta float64
+	k     int
+	n     int
+
+	small map[tKey]*bitmap.Compressed
+	large map[tKey]*tCell
+	adj   map[tKey]*bitmap.Compressed // memoised 27-cell unions per bucket
+	adjMu sync.Mutex                  // guards adj during parallel phases
+
+	// exactTimes maps distinct timestamps to bucket ids when δ = 0.
+	exactTimes map[float64]int32
+
+	tauUpp []int32
+}
+
+// Run processes a spatio-temporal MIO query.
+func (e *TemporalEngine) Run(r, delta float64) (*Result, error) { return e.RunTopK(r, delta, 1) }
+
+// RunTopK processes the top-k spatio-temporal variant. delta may be
+// zero (points must share their generation time exactly).
+func (e *TemporalEngine) RunTopK(r, delta float64, k int) (*Result, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("core: temporal threshold must be non-negative, got %g", delta)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be at least 1, got %d", k)
+	}
+	if k > e.ds.N() {
+		k = e.ds.N()
+	}
+	q := &tQuery{
+		e: e, r: r, r2: r * r, delta: delta, k: k, n: e.ds.N(),
+		small: make(map[tKey]*bitmap.Compressed),
+		large: make(map[tKey]*tCell),
+		adj:   make(map[tKey]*bitmap.Compressed),
+	}
+	if delta == 0 {
+		q.exactTimes = make(map[float64]int32)
+	}
+	q.build()
+	threshold := q.lowerBound()
+	cand := q.upperBound(threshold)
+	top := q.verify(cand)
+	res := &Result{TopK: top}
+	if len(top) > 0 {
+		res.Best = top[0]
+	}
+	return res, nil
+}
+
+// bucketOf maps a timestamp to its bucket id. With δ = 0 it interns
+// distinct timestamps; every timestamp is registered during build, so
+// later phases (including parallel ones) only read the map.
+func (q *tQuery) bucketOf(t float64) int32 {
+	if q.delta == 0 {
+		id, ok := q.exactTimes[t]
+		if !ok {
+			id = int32(len(q.exactTimes))
+			q.exactTimes[t] = id
+		}
+		return id
+	}
+	return int32(math.Floor(t / q.delta))
+}
+
+// bucketWindow returns the buckets that can hold temporal neighbours of
+// bucket b.
+func (q *tQuery) bucketWindow(b int32) [3]int32 {
+	if q.delta == 0 {
+		return [3]int32{b, b, b}
+	}
+	return [3]int32{b - 1, b, b + 1}
+}
+
+func (q *tQuery) build() {
+	dims := q.e.opts.dims()
+	smallW := grid.SmallWidth(q.r, dims)
+	largeW := grid.LargeWidth(q.r)
+	for i := range q.e.ds.Objects {
+		o := &q.e.ds.Objects[i]
+		for j, p := range o.Pts {
+			b := q.bucketOf(o.Times[j])
+			sk := tKey{bucket: b, cell: grid.KeyFor(p, smallW)}
+			sb, ok := q.small[sk]
+			if !ok {
+				sb = bitmap.New()
+				q.small[sk] = sb
+			}
+			sb.Set(i)
+			lk := tKey{bucket: b, cell: grid.KeyFor(p, largeW)}
+			lc, ok := q.large[lk]
+			if !ok {
+				lc = &tCell{b: bitmap.New()}
+				q.large[lk] = lc
+			}
+			lc.b.Set(i)
+			if n := len(lc.postings); n > 0 && int(lc.postings[n-1].obj) == i {
+				lc.postings[n-1].pts = append(lc.postings[n-1].pts, p)
+				lc.postings[n-1].times = append(lc.postings[n-1].times, o.Times[j])
+			} else {
+				lc.postings = append(lc.postings, tPosting{
+					obj: int32(i), pts: []geom.Point{p}, times: []float64{o.Times[j]},
+				})
+			}
+		}
+	}
+}
+
+// lowerBound ORs the same-bucket small-grid cells of every point: those
+// pairs satisfy both constraints unconditionally. With multiple workers
+// configured, objects are partitioned greedily by point count and each
+// worker uses a local scratch bitset (§IV applied to Appendix B).
+func (q *tQuery) lowerBound() int {
+	dims := q.e.opts.dims()
+	smallW := grid.SmallWidth(q.r, dims)
+	tauLow := make([]int32, q.n)
+	one := func(i int, scratch *bitmap.Scratch) {
+		o := &q.e.ds.Objects[i]
+		scratch.Reset()
+		for j, p := range o.Pts {
+			sk := tKey{bucket: q.bucketOf(o.Times[j]), cell: grid.KeyFor(p, smallW)}
+			if sb := q.small[sk]; sb != nil && sb.Cardinality() >= 2 {
+				scratch.OrCompressed(sb)
+			}
+		}
+		if c := scratch.Cardinality(); c > 0 {
+			tauLow[i] = int32(c - 1)
+		}
+	}
+	if t := q.e.opts.workers(); t > 1 {
+		buckets := parallel.Greedy(objectPointWeights(q.e.ds), t)
+		parallel.Run(t, func(w int) {
+			scratch := bitmap.NewScratch(q.n)
+			for _, i := range buckets[w] {
+				one(i, scratch)
+			}
+		})
+	} else {
+		scratch := bitmap.NewScratch(q.n)
+		for i := 0; i < q.n; i++ {
+			one(i, scratch)
+		}
+	}
+	return kthHighestInt32(tauLow, q.k)
+}
+
+// objectPointWeights returns per-object point counts for greedy
+// partitioning.
+func objectPointWeights(ds *data.Dataset) []int {
+	w := make([]int, ds.N())
+	for i := range ds.Objects {
+		w[i] = len(ds.Objects[i].Pts)
+	}
+	return w
+}
+
+// adjUnion returns the OR of b(c) over the 27-cell neighbourhood of
+// (bucket, cell), memoised. It works even when the anchor cell itself
+// is empty (a temporal neighbour bucket may populate only nearby
+// cells). Safe for concurrent use: duplicated computation is possible
+// under contention but the published value is deterministic.
+func (q *tQuery) adjUnion(k tKey) *bitmap.Compressed {
+	q.adjMu.Lock()
+	if a, ok := q.adj[k]; ok {
+		q.adjMu.Unlock()
+		return a
+	}
+	q.adjMu.Unlock()
+	var neigh [27]grid.Key
+	bms := make([]*bitmap.Compressed, 0, 27)
+	for _, nk := range k.cell.NeighborsAndSelf(neigh[:0]) {
+		if c := q.large[tKey{bucket: k.bucket, cell: nk}]; c != nil {
+			bms = append(bms, c.b)
+		}
+	}
+	a := bitmap.OrAll(bms)
+	q.adjMu.Lock()
+	if prev, ok := q.adj[k]; ok {
+		a = prev
+	} else {
+		q.adj[k] = a
+	}
+	q.adjMu.Unlock()
+	return a
+}
+
+// upperBound ORs the adjacency unions of each point's cell across its
+// temporal bucket window, in parallel when workers are configured.
+func (q *tQuery) upperBound(threshold int) []candidate {
+	largeW := grid.LargeWidth(q.r)
+	q.tauUpp = make([]int32, q.n)
+	one := func(i int, scratch *bitmap.Scratch) {
+		o := &q.e.ds.Objects[i]
+		scratch.Reset()
+		for j, p := range o.Pts {
+			b := q.bucketOf(o.Times[j])
+			ck := grid.KeyFor(p, largeW)
+			win := q.bucketWindow(b)
+			for wi, wb := range win {
+				if wi > 0 && wb == win[wi-1] {
+					continue // δ=0 collapses the window
+				}
+				scratch.OrCompressed(q.adjUnion(tKey{bucket: wb, cell: ck}))
+			}
+		}
+		if c := scratch.Cardinality(); c > 0 {
+			q.tauUpp[i] = int32(c - 1)
+		}
+	}
+	if t := q.e.opts.workers(); t > 1 {
+		buckets := parallel.Greedy(objectPointWeights(q.e.ds), t)
+		parallel.Run(t, func(w int) {
+			scratch := bitmap.NewScratch(q.n)
+			for _, i := range buckets[w] {
+				one(i, scratch)
+			}
+		})
+	} else {
+		scratch := bitmap.NewScratch(q.n)
+		for i := 0; i < q.n; i++ {
+			one(i, scratch)
+		}
+	}
+	cand := make([]candidate, 0, q.n/4+1)
+	for i := 0; i < q.n; i++ {
+		if int(q.tauUpp[i]) >= threshold {
+			cand = append(cand, candidate{obj: int32(i), tauUpp: q.tauUpp[i]})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].tauUpp != cand[b].tauUpp {
+			return cand[a].tauUpp > cand[b].tauUpp
+		}
+		return cand[a].obj < cand[b].obj
+	})
+	return cand
+}
+
+// verify computes exact scores best-first with the Corollary 1 cut.
+func (q *tQuery) verify(cand []candidate) []Scored {
+	top := make([]Scored, 0, q.k)
+	kthScore := func() int {
+		if len(top) < q.k {
+			return -1
+		}
+		return top[q.k-1].Score
+	}
+	largeW := grid.LargeWidth(q.r)
+	bOi := bitmap.NewScratch(q.n)
+	mask := bitmap.NewScratch(q.n)
+	var neigh [27]grid.Key
+	for _, c := range cand {
+		if int(c.tauUpp) <= kthScore() {
+			break
+		}
+		i := int(c.obj)
+		o := &q.e.ds.Objects[i]
+		bOi.Reset()
+		bOi.Set(i)
+		for j, p := range o.Pts {
+			pt := o.Times[j]
+			b := q.bucketOf(pt)
+			ck := grid.KeyFor(p, largeW)
+			win := q.bucketWindow(b)
+			for wi, wb := range win {
+				if wi > 0 && wb == win[wi-1] {
+					continue
+				}
+				mask.AndNotFromCompressed(q.adjUnion(tKey{bucket: wb, cell: ck}), bOi)
+				if mask.Cardinality() == 0 {
+					continue
+				}
+				for _, nk := range ck.NeighborsAndSelf(neigh[:0]) {
+					cell := q.large[tKey{bucket: wb, cell: nk}]
+					if cell == nil {
+						continue
+					}
+					mask.ForEach(func(jj int) bool {
+						post := cell.posting(jj)
+						if post == nil {
+							return true
+						}
+						for pi, pp := range post.pts {
+							if geom.Dist2(p, pp) <= q.r2 && math.Abs(pt-post.times[pi]) <= q.delta {
+								bOi.Set(jj)
+								mask.Clear(jj)
+								break
+							}
+						}
+						return true
+					})
+					if mask.Cardinality() == 0 {
+						break
+					}
+				}
+			}
+		}
+		top = insertTopK(top, Scored{Obj: i, Score: bOi.Cardinality() - 1}, q.k)
+	}
+	return top
+}
+
+// kthHighestInt32 returns the k-th highest value of vals (0 when out of
+// range).
+func kthHighestInt32(vals []int32, k int) int {
+	if k == 1 {
+		best := int32(0)
+		for _, v := range vals {
+			if v > best {
+				best = v
+			}
+		}
+		return int(best)
+	}
+	cp := make([]int32, len(vals))
+	copy(cp, vals)
+	sort.Slice(cp, func(a, b int) bool { return cp[a] > cp[b] })
+	if k-1 < len(cp) {
+		return int(cp[k-1])
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mio/internal/baseline"
+	"mio/internal/data"
+)
+
+func temporalDataset(tb testing.TB) *data.Dataset {
+	tb.Helper()
+	base := data.GenTrajectory(data.TrajectoryConfig{
+		N: 80, M: 25, Groups: 5, FieldSize: 3000, Speed: 25, FollowStd: 10, Solo: 0.4, Seed: 21,
+	})
+	ds := data.WithTimestamps(base, 1.0, 40, 22)
+	if err := ds.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+func TestTemporalMatchesOracle(t *testing.T) {
+	ds := temporalDataset(t)
+	eng, err := NewTemporalEngine(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{20, 50} {
+		for _, delta := range []float64{2, 8, 25} {
+			oracle := baseline.TemporalNLScores(ds, r, delta)
+			res, err := eng.RunTopK(r, delta, 4)
+			if err != nil {
+				t.Fatalf("r=%g δ=%g: %v", r, delta, err)
+			}
+			want := baselineScores(baseline.TopKFromScores(oracle, 4))
+			got := scoreMultiset(res.TopK)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("r=%g δ=%g: scores %v, oracle %v", r, delta, got, want)
+			}
+			for _, s := range res.TopK {
+				if oracle[s.Obj] != s.Score {
+					t.Errorf("r=%g δ=%g: obj %d reported %d, true %d", r, delta, s.Obj, s.Score, oracle[s.Obj])
+				}
+			}
+		}
+	}
+}
+
+func TestTemporalDeltaZero(t *testing.T) {
+	// δ = 0: only points generated at exactly the same instant count
+	// (the appendix's special case). The generator stamps points on a
+	// shared tick grid, so exact matches exist.
+	ds := temporalDataset(t)
+	// Snap all timestamps onto integers so exact collisions occur.
+	for i := range ds.Objects {
+		for j := range ds.Objects[i].Times {
+			ds.Objects[i].Times[j] = float64(int(ds.Objects[i].Times[j]))
+		}
+	}
+	eng, _ := NewTemporalEngine(ds, Options{})
+	r := 50.0
+	oracle := baseline.TemporalNLScores(ds, r, 0)
+	res, err := eng.RunTopK(r, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baselineScores(baseline.TopKFromScores(oracle, 3))
+	if got := scoreMultiset(res.TopK); !reflect.DeepEqual(got, want) {
+		t.Errorf("δ=0: scores %v, oracle %v", got, want)
+	}
+}
+
+func TestTemporalLargeDeltaEqualsSpatial(t *testing.T) {
+	// With δ spanning the whole time horizon the temporal constraint is
+	// vacuous and the answer must match the purely spatial engine.
+	ds := temporalDataset(t)
+	spatial := &data.Dataset{Name: ds.Name}
+	for i := range ds.Objects {
+		spatial.Objects = append(spatial.Objects, data.Object{ID: i, Pts: ds.Objects[i].Pts})
+	}
+	r := 40.0
+	se, _ := NewEngine(spatial, Options{})
+	sres, _ := se.RunTopK(r, 5)
+	te, _ := NewTemporalEngine(ds, Options{})
+	tres, err := te.RunTopK(r, 1e9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scoreMultiset(tres.TopK), scoreMultiset(sres.TopK)) {
+		t.Errorf("huge δ: temporal %v vs spatial %v", scoreMultiset(tres.TopK), scoreMultiset(sres.TopK))
+	}
+}
+
+func TestTemporalErrors(t *testing.T) {
+	ds := temporalDataset(t)
+	eng, _ := NewTemporalEngine(ds, Options{})
+	if _, err := eng.Run(0, 5); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := eng.Run(5, -1); err == nil {
+		t.Error("negative δ accepted")
+	}
+	if _, err := eng.RunTopK(5, 5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	noTimes := data.GenUniform(data.UniformConfig{N: 5, M: 3, FieldSize: 10, Spread: 2, Seed: 3})
+	if _, err := NewTemporalEngine(noTimes, Options{}); err == nil {
+		t.Error("dataset without timestamps accepted")
+	}
+}
+
+func TestTemporalParallelMatchesSerial(t *testing.T) {
+	ds := temporalDataset(t)
+	serial, _ := NewTemporalEngine(ds, Options{})
+	want, err := serial.RunTopK(50, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		eng, _ := NewTemporalEngine(ds, Options{Workers: workers})
+		got, err := eng.RunTopK(50, 8, 4)
+		if err != nil {
+			t.Fatalf("w=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(scoreMultiset(got.TopK), scoreMultiset(want.TopK)) {
+			t.Fatalf("w=%d: %v vs %v", workers, scoreMultiset(got.TopK), scoreMultiset(want.TopK))
+		}
+	}
+	// δ = 0 exercises the interned-timestamp read path under workers.
+	for i := range ds.Objects {
+		for j := range ds.Objects[i].Times {
+			ds.Objects[i].Times[j] = float64(int(ds.Objects[i].Times[j]))
+		}
+	}
+	oracle := baseline.TemporalNLScores(ds, 50, 0)
+	eng, _ := NewTemporalEngine(ds, Options{Workers: 3})
+	res, err := eng.RunTopK(50, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := baselineScores(baseline.TopKFromScores(oracle, 2))
+	if !reflect.DeepEqual(scoreMultiset(res.TopK), wantScores) {
+		t.Fatalf("δ=0 parallel: %v vs %v", scoreMultiset(res.TopK), wantScores)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"mio/internal/bitmap"
+	"mio/internal/core/labelstore"
+	"mio/internal/geom"
+	"mio/internal/grid"
+)
+
+// verification implements VERIFICATION(O_cand, r) (Algorithm 6) with
+// the best-first early termination of Corollary 1, generalised to
+// top-k, plus the WITH-LABEL variant of §III-D. cand must be sorted by
+// descending upper bound.
+func (q *query) verification(cand []candidate) []Scored {
+	top := make([]Scored, 0, q.k)
+	// kthScore returns the current k-th best exact score, or -1 while
+	// fewer than k objects have been verified.
+	kthScore := func() int {
+		if len(top) < q.k {
+			return -1
+		}
+		return top[q.k-1].Score
+	}
+
+	bOi := bitmap.NewScratch(q.n)
+	mask := bitmap.NewScratch(q.n)
+	ctr := ctrSet{}
+	var neigh [27]grid.Key
+
+	for _, c := range cand {
+		if int(c.tauUpp) <= kthScore() {
+			break // Corollary 1: no remaining candidate can enter the top-k.
+		}
+		if q.cancelled() {
+			break
+		}
+		i := int(c.obj)
+		var tau int
+		if q.e.opts.workers() > 1 {
+			tau = q.parallelExactScore(i)
+		} else {
+			tau = q.exactScore(i, bOi, mask, neigh[:0], &ctr)
+		}
+		q.stats.Verified++
+		top = insertTopK(top, Scored{Obj: i, Score: tau}, q.k)
+	}
+	q.addCounters([]ctrSet{ctr})
+	return top
+}
+
+// exactScore computes τ(o_i) with the BIGrid (Algorithm 6 lines 6-19).
+func (q *query) exactScore(i int, bOi, mask *bitmap.Scratch, neigh []grid.Key, ctr *ctrSet) int {
+	bOi.Reset()
+	bOi.Set(i)
+	if q.lbBits != nil && q.lbBits[i] != nil {
+		// WITH-LABEL: start from the lower-bounding bitset — those
+		// objects are certain interactions, so candidate masks empty
+		// out earlier (§III-D).
+		bOi.OrCompressed(q.lbBits[i])
+	}
+	obj := &q.e.ds.Objects[i]
+	st := scoreState{}
+	for j, p := range obj.Pts {
+		if q.labels != nil {
+			l := q.labels.Get(i, j)
+			if l&labelstore.BitMapped == 0 || l&labelstore.BitVerify == 0 {
+				continue // label 0** or 1*0: point cannot add interactions
+			}
+		}
+		q.scorePoint(i, j, p, bOi, mask, neigh, ctr, &st)
+	}
+	return bOi.Cardinality() - 1
+}
+
+// scoreState carries verification state across the points of one
+// object: while consecutive points share a large-grid cell, the
+// candidate mask b = b^adj(c) − b(o_i) stays exact (probing clears
+// found bits from both mask and adds them to b(o_i)), so it need not be
+// rebuilt.
+type scoreState struct {
+	lastKey   grid.Key
+	maskValid bool
+}
+
+// scorePoint processes one point of o_i: builds the candidate mask
+// b = b^adj(c_K) − b(o_i), then probes posting lists of the cell and
+// its neighbours only for objects whose mask bit survives.
+func (q *query) scorePoint(i, j int, p geom.Point, bOi, mask *bitmap.Scratch, neigh []grid.Key, ctr *ctrSet, st *scoreState) {
+	k := q.idx.large.KeyFor(p)
+	if !st.maskValid || k != st.lastKey {
+		cell := q.idx.large.Cell(k)
+		if cell == nil {
+			st.maskValid = false
+			return
+		}
+		adj := cell.Adj()
+		if adj == nil {
+			// WITH-LABEL runs may reach cells whose b^adj was never
+			// needed during (label-filtered) upper-bounding; compute it
+			// now (§III-D, VERIFICATION-WITH-LABEL).
+			var fresh bool
+			adj, fresh = q.idx.large.ComputeAdj(k)
+			if fresh {
+				ctr.adjComputed++
+			}
+		}
+		mask.AndNotFromCompressed(adj, bOi)
+		st.lastKey, st.maskValid = k, true
+	}
+	if mask.Cardinality() == 0 {
+		if q.newLabels != nil {
+			// Labeling-3 (Observation 3): this point's mask is empty;
+			// future verifications with the same ⌈r⌉ can skip it.
+			q.newLabels.ClearBit(i, j, labelstore.BitVerify)
+		}
+		return
+	}
+	for _, nk := range k.NeighborsAndSelf(neigh[:0]) {
+		nc := q.idx.large.Cell(nk)
+		if nc == nil {
+			continue
+		}
+		q.probeCell(nc, p, bOi, mask, ctr)
+		if mask.Cardinality() == 0 {
+			return
+		}
+	}
+}
+
+// probeCell runs the distance computations of Algorithm 6 lines 13-17:
+// for every object still in the mask, scan its posting list in the cell
+// until one point within r is found. The posting-list/mask intersection
+// runs in whichever direction is cheaper: over mask bits (binary search
+// per posting lookup) when the mask is small, over the cell's posting
+// lists (O(1) mask test each) when the cell is small.
+func (q *query) probeCell(c *grid.LargeCell, p geom.Point, bOi, mask *bitmap.Scratch, ctr *ctrSet) {
+	if len(c.Postings) <= mask.Cardinality() {
+		for pi := range c.Postings {
+			post := &c.Postings[pi]
+			j := int(post.Obj)
+			if !mask.Test(j) {
+				continue
+			}
+			for _, pp := range post.Pts {
+				ctr.distComps++
+				if geom.Dist2(p, pp) <= q.r2 {
+					bOi.Set(j)
+					mask.Clear(j)
+					break
+				}
+			}
+		}
+		return
+	}
+	mask.ForEach(func(j int) bool {
+		pts := c.Posting(j)
+		if pts == nil {
+			return true
+		}
+		for _, pp := range pts {
+			ctr.distComps++
+			if geom.Dist2(p, pp) <= q.r2 {
+				bOi.Set(j)
+				mask.Clear(j)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// insertTopK inserts s into the descending-sorted top list, keeping at
+// most k entries. Ties keep the earlier-verified object, matching the
+// paper's arbitrary tie-break.
+func insertTopK(top []Scored, s Scored, k int) []Scored {
+	pos := len(top)
+	for pos > 0 && top[pos-1].Score < s.Score {
+		pos--
+	}
+	if pos >= k {
+		return top
+	}
+	top = append(top, Scored{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = s
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}

@@ -1,0 +1,147 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"mio/internal/geom"
+)
+
+// CSVColumns maps dataset fields to CSV column names. Real tracking
+// exports (e.g. movebank.org) identify the animal by a tag column and
+// carry coordinates plus an optional timestamp; this reader groups rows
+// by the object column into one Object per distinct value.
+type CSVColumns struct {
+	// Obj names the column identifying the object (required). Distinct
+	// values become objects, numbered in order of first appearance.
+	Obj string
+	// X, Y name the coordinate columns (required).
+	X, Y string
+	// Z names the third coordinate column ("" for planar data, Z = 0).
+	Z string
+	// T names the timestamp column ("" for purely spatial data). The
+	// column must parse as a float (e.g. seconds since an epoch).
+	T string
+}
+
+// ReadCSV parses a headered CSV stream into a dataset using the given
+// column mapping. Rows keep their file order within each object, so
+// trajectory point sequences are preserved.
+func ReadCSV(r io.Reader, cols CSVColumns) (*Dataset, error) {
+	if cols.Obj == "" || cols.X == "" || cols.Y == "" {
+		return nil, fmt.Errorf("data: csv mapping needs Obj, X and Y columns")
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv header: %w", err)
+	}
+	idx := map[string]int{}
+	for i, h := range header {
+		idx[h] = i
+	}
+	col := func(name string) (int, error) {
+		i, ok := idx[name]
+		if !ok {
+			return 0, fmt.Errorf("data: csv column %q not found (have %v)", name, header)
+		}
+		return i, nil
+	}
+	objI, err := col(cols.Obj)
+	if err != nil {
+		return nil, err
+	}
+	xI, err := col(cols.X)
+	if err != nil {
+		return nil, err
+	}
+	yI, err := col(cols.Y)
+	if err != nil {
+		return nil, err
+	}
+	zI := -1
+	if cols.Z != "" {
+		if zI, err = col(cols.Z); err != nil {
+			return nil, err
+		}
+	}
+	tI := -1
+	if cols.T != "" {
+		if tI, err = col(cols.T); err != nil {
+			return nil, err
+		}
+	}
+
+	type acc struct {
+		order int
+		pts   []geom.Point
+		times []float64
+	}
+	objs := map[string]*acc{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("data: csv line %d: %w", line, err)
+		}
+		parse := func(i int) (float64, error) {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("data: csv line %d column %q: %w", line, header[i], err)
+			}
+			return v, nil
+		}
+		x, err := parse(xI)
+		if err != nil {
+			return nil, err
+		}
+		y, err := parse(yI)
+		if err != nil {
+			return nil, err
+		}
+		z := 0.0
+		if zI >= 0 {
+			if z, err = parse(zI); err != nil {
+				return nil, err
+			}
+		}
+		key := rec[objI]
+		a := objs[key]
+		if a == nil {
+			a = &acc{order: len(objs)}
+			objs[key] = a
+		}
+		a.pts = append(a.pts, geom.Pt(x, y, z))
+		if tI >= 0 {
+			tv, err := parse(tI)
+			if err != nil {
+				return nil, err
+			}
+			a.times = append(a.times, tv)
+		}
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("data: csv has no data rows")
+	}
+	ordered := make([]*acc, len(objs))
+	for _, a := range objs {
+		ordered[a.order] = a
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	ds := &Dataset{}
+	for i, a := range ordered {
+		ds.Objects = append(ds.Objects, Object{ID: i, Pts: a.pts, Times: a.times})
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

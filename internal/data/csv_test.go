@@ -1,0 +1,93 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"mio/internal/geom"
+)
+
+const birdsCSV = `tag,lon,lat,alt,ts
+A,1.0,2.0,0.5,10
+B,5.0,6.0,0.0,11
+A,1.5,2.5,0.6,12
+C,9.0,9.0,1.0,13
+B,5.5,6.5,0.1,14
+`
+
+func TestReadCSVBasic(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(birdsCSV), CSVColumns{
+		Obj: "tag", X: "lon", Y: "lat", Z: "alt", T: "ts",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 {
+		t.Fatalf("n = %d", ds.N())
+	}
+	// Objects numbered by first appearance: A=0, B=1, C=2.
+	a := ds.Objects[0]
+	if len(a.Pts) != 2 || a.Pts[0] != geom.Pt(1, 2, 0.5) || a.Pts[1] != geom.Pt(1.5, 2.5, 0.6) {
+		t.Fatalf("object A = %+v", a)
+	}
+	if a.Times[0] != 10 || a.Times[1] != 12 {
+		t.Fatalf("object A times = %v", a.Times)
+	}
+	if len(ds.Objects[1].Pts) != 2 || len(ds.Objects[2].Pts) != 1 {
+		t.Fatal("grouping wrong")
+	}
+}
+
+func TestReadCSVPlanarNoTime(t *testing.T) {
+	csvData := "id,x,y\nA,1,2\nA,3,4\n"
+	ds, err := ReadCSV(strings.NewReader(csvData), CSVColumns{Obj: "id", X: "x", Y: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 1 || ds.Objects[0].Temporal() {
+		t.Fatalf("ds = %+v", ds.Objects[0])
+	}
+	if ds.Objects[0].Pts[0].Z != 0 {
+		t.Fatal("z not zeroed")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		cols CSVColumns
+	}{
+		{"missing mapping", birdsCSV, CSVColumns{Obj: "tag"}},
+		{"unknown obj column", birdsCSV, CSVColumns{Obj: "nope", X: "lon", Y: "lat"}},
+		{"unknown x column", birdsCSV, CSVColumns{Obj: "tag", X: "nope", Y: "lat"}},
+		{"unknown y column", birdsCSV, CSVColumns{Obj: "tag", X: "lon", Y: "nope"}},
+		{"unknown z column", birdsCSV, CSVColumns{Obj: "tag", X: "lon", Y: "lat", Z: "nope"}},
+		{"unknown t column", birdsCSV, CSVColumns{Obj: "tag", X: "lon", Y: "lat", T: "nope"}},
+		{"bad number", "id,x,y\nA,one,2\n", CSVColumns{Obj: "id", X: "x", Y: "y"}},
+		{"bad time", "id,x,y,t\nA,1,2,noon\n", CSVColumns{Obj: "id", X: "x", Y: "y", T: "t"}},
+		{"empty", "id,x,y\n", CSVColumns{Obj: "id", X: "x", Y: "y"}},
+		{"no header", "", CSVColumns{Obj: "id", X: "x", Y: "y"}},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.csv), c.cols); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadCSVRoundTripsThroughEnginePipeline(t *testing.T) {
+	// CSV -> dataset -> save -> load keeps everything intact.
+	ds, err := ReadCSV(strings.NewReader(birdsCSV), CSVColumns{
+		Obj: "tag", X: "lon", Y: "lat", Z: "alt", T: "ts",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalPoints() != 5 {
+		t.Fatalf("points = %d", ds.TotalPoints())
+	}
+}

@@ -1,0 +1,244 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"mio/internal/geom"
+)
+
+// Text format: one point per line, "objectID x y z [t]", blank lines
+// and '#' comments ignored. Object ids must be dense starting at zero
+// but may appear in any order.
+//
+// Binary format: a compact little-endian encoding with a magic header,
+// used by the CLIs to cache generated datasets.
+
+// WriteText writes ds in the text format.
+func WriteText(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# dataset %s: n=%d points=%d\n", ds.Name, ds.N(), ds.TotalPoints())
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		for j, p := range o.Pts {
+			if o.Times != nil {
+				fmt.Fprintf(bw, "%d %g %g %g %g\n", i, p.X, p.Y, p.Z, o.Times[j])
+			} else {
+				fmt.Fprintf(bw, "%d %g %g %g\n", i, p.X, p.Y, p.Z)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	type row struct {
+		pts   []geom.Point
+		times []float64
+	}
+	objs := map[int]*row{}
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("data: line %d: want 4 or 5 fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("data: line %d: bad object id %q", lineNo, fields[0])
+		}
+		var v [4]float64
+		for fi := 1; fi < len(fields); fi++ {
+			v[fi-1], err = strconv.ParseFloat(fields[fi], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad number %q", lineNo, fields[fi])
+			}
+		}
+		o := objs[id]
+		if o == nil {
+			o = &row{}
+			objs[id] = o
+		}
+		o.pts = append(o.pts, geom.Pt(v[0], v[1], v[2]))
+		if len(fields) == 5 {
+			o.times = append(o.times, v[3])
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	if maxID < 0 {
+		return nil, errors.New("data: no points")
+	}
+	ds := &Dataset{}
+	for i := 0; i <= maxID; i++ {
+		o := objs[i]
+		if o == nil {
+			return nil, fmt.Errorf("data: object ids not dense: %d missing", i)
+		}
+		if o.times != nil && len(o.times) != len(o.pts) {
+			return nil, fmt.Errorf("data: object %d mixes timestamped and plain points", i)
+		}
+		ds.Objects = append(ds.Objects, Object{ID: i, Pts: o.pts, Times: o.times})
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+const binMagic = uint64(0x4d494f4441544131) // "MIODATA1"
+
+// WriteBinary writes ds in the binary format.
+func WriteBinary(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	var u [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u[:], v)
+		bw.Write(u[:])
+	}
+	putF := func(v float64) { put(math.Float64bits(v)) }
+	put(binMagic)
+	put(uint64(len(ds.Name)))
+	bw.WriteString(ds.Name)
+	put(uint64(ds.N()))
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		put(uint64(len(o.Pts)))
+		hasTimes := uint64(0)
+		if o.Times != nil {
+			hasTimes = 1
+		}
+		put(hasTimes)
+		for j, p := range o.Pts {
+			putF(p.X)
+			putF(p.Y)
+			putF(p.Z)
+			if hasTimes == 1 {
+				putF(o.Times[j])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var u [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	if magic != binMagic {
+		return nil, errors.New("data: bad magic")
+	}
+	nameLen, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, errors.New("data: implausible name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	n, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	if n > 1<<32 {
+		return nil, errors.New("data: implausible object count")
+	}
+	ds := &Dataset{Name: string(name)}
+	for i := 0; i < int(n); i++ {
+		m, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("data: object %d: %w", i, err)
+		}
+		hasTimes, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("data: object %d: %w", i, err)
+		}
+		o := Object{ID: i, Pts: make([]geom.Point, 0, m)}
+		if hasTimes == 1 {
+			o.Times = make([]float64, 0, m)
+		}
+		for j := 0; j < int(m); j++ {
+			var c [4]float64
+			fields := 3
+			if hasTimes == 1 {
+				fields = 4
+			}
+			for fi := 0; fi < fields; fi++ {
+				v, err := get()
+				if err != nil {
+					return nil, fmt.Errorf("data: object %d point %d: %w", i, j, err)
+				}
+				c[fi] = math.Float64frombits(v)
+			}
+			o.Pts = append(o.Pts, geom.Pt(c[0], c[1], c[2]))
+			if hasTimes == 1 {
+				o.Times = append(o.Times, c[3])
+			}
+		}
+		ds.Objects = append(ds.Objects, o)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SaveFile writes ds to path, choosing the format by extension: ".txt"
+// for text, anything else binary.
+func SaveFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".txt") {
+		return WriteText(f, ds)
+	}
+	return WriteBinary(f, ds)
+}
+
+// LoadFile reads a dataset from path, choosing the format by extension.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".txt") {
+		return ReadText(f)
+	}
+	return ReadBinary(f)
+}

@@ -1,0 +1,88 @@
+package geom
+
+import "math"
+
+// Box is an axis-aligned bounding box. The zero Box is empty (Min above
+// Max); extend it with Expand.
+type Box struct {
+	Min, Max Point
+}
+
+// EmptyBox returns a box that contains no points and absorbs any point
+// through Expand.
+func EmptyBox() Box {
+	inf := math.Inf(1)
+	return Box{
+		Min: Point{inf, inf, inf},
+		Max: Point{-inf, -inf, -inf},
+	}
+}
+
+// Empty reports whether the box contains no points.
+func (b Box) Empty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Expand returns the box grown to include p.
+func (b Box) Expand(p Point) Box {
+	return Box{
+		Min: Point{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y), math.Min(b.Min.Z, p.Z)},
+		Max: Point{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y), math.Max(b.Max.Z, p.Z)},
+	}
+}
+
+// Union returns the smallest box containing both b and c.
+func (b Box) Union(c Box) Box {
+	if b.Empty() {
+		return c
+	}
+	if c.Empty() {
+		return b
+	}
+	return Box{
+		Min: Point{math.Min(b.Min.X, c.Min.X), math.Min(b.Min.Y, c.Min.Y), math.Min(b.Min.Z, c.Min.Z)},
+		Max: Point{math.Max(b.Max.X, c.Max.X), math.Max(b.Max.Y, c.Max.Y), math.Max(b.Max.Z, c.Max.Z)},
+	}
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b Box) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Dist2To returns the squared distance from p to the box (0 if inside).
+func (b Box) Dist2To(p Point) float64 {
+	d := 0.0
+	for _, c := range [3][3]float64{
+		{p.X, b.Min.X, b.Max.X},
+		{p.Y, b.Min.Y, b.Max.Y},
+		{p.Z, b.Min.Z, b.Max.Z},
+	} {
+		v, lo, hi := c[0], c[1], c[2]
+		if v < lo {
+			d += (lo - v) * (lo - v)
+		} else if v > hi {
+			d += (v - hi) * (v - hi)
+		}
+	}
+	return d
+}
+
+// Bound returns the bounding box of pts.
+func Bound(pts []Point) Box {
+	b := EmptyBox()
+	for _, p := range pts {
+		b = b.Expand(p)
+	}
+	return b
+}
+
+// Extent returns the side lengths of the box, or zeros when empty.
+func (b Box) Extent() Point {
+	if b.Empty() {
+		return Point{}
+	}
+	return b.Max.Sub(b.Min)
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2, 3)
+	q := Pt(4, -2, 0.5)
+	if got := p.Add(q); got != Pt(5, 0, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-3, 4, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1*4+2*-2+3*0.5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Pt(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestDistAndWithin(t *testing.T) {
+	p := Pt(0, 0, 0)
+	q := Pt(1, 2, 2)
+	if got := Dist(p, q); got != 3 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	if Dist2(p, q) != 9 {
+		t.Errorf("Dist2 = %v, want 9", Dist2(p, q))
+	}
+	if !Within(p, q, 3) {
+		t.Error("Within(3) = false at distance exactly 3")
+	}
+	if Within(p, q, 2.999) {
+		t.Error("Within(2.999) = true at distance 3")
+	}
+}
+
+func TestCoordAxes(t *testing.T) {
+	p := Pt(7, 8, 9)
+	if p.Coord(AxisX) != 7 || p.Coord(AxisY) != 8 || p.Coord(AxisZ) != 9 {
+		t.Error("Coord wrong")
+	}
+}
+
+func TestDistQuickSymmetricNonNegative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Constrain to finite values.
+		for _, v := range []float64{ax, ay, az, bx, by, bz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		p, q := Pt(ax, ay, az), Pt(bx, by, bz)
+		d := Dist2(p, q)
+		return d >= 0 && d == Dist2(q, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := EmptyBox()
+	if !b.Empty() {
+		t.Error("EmptyBox not empty")
+	}
+	b = b.Expand(Pt(1, 2, 3))
+	b = b.Expand(Pt(-1, 5, 0))
+	if b.Empty() {
+		t.Error("expanded box empty")
+	}
+	if !b.Contains(Pt(0, 3, 1)) {
+		t.Error("Contains inner point = false")
+	}
+	if b.Contains(Pt(2, 3, 1)) {
+		t.Error("Contains outer point = true")
+	}
+	if got := b.Extent(); got != Pt(2, 3, 3) {
+		t.Errorf("Extent = %v", got)
+	}
+	if EmptyBox().Extent() != Pt(0, 0, 0) {
+		t.Error("empty Extent not zero")
+	}
+}
+
+func TestBoxUnion(t *testing.T) {
+	a := Bound([]Point{Pt(0, 0, 0), Pt(1, 1, 1)})
+	b := Bound([]Point{Pt(2, -1, 0), Pt(3, 0, 5)})
+	u := a.Union(b)
+	for _, p := range []Point{Pt(0, 0, 0), Pt(1, 1, 1), Pt(2, -1, 0), Pt(3, 0, 5)} {
+		if !u.Contains(p) {
+			t.Errorf("union misses %v", p)
+		}
+	}
+	if got := a.Union(EmptyBox()); got != a {
+		t.Error("union with empty changed box")
+	}
+	if got := EmptyBox().Union(a); got != a {
+		t.Error("empty union with box changed box")
+	}
+}
+
+func TestBoxDist2To(t *testing.T) {
+	b := Bound([]Point{Pt(0, 0, 0), Pt(2, 2, 2)})
+	if d := b.Dist2To(Pt(1, 1, 1)); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := b.Dist2To(Pt(3, 1, 1)); d != 1 {
+		t.Errorf("face dist = %v", d)
+	}
+	if d := b.Dist2To(Pt(3, 3, 3)); d != 3 {
+		t.Errorf("corner dist = %v", d)
+	}
+	if d := b.Dist2To(Pt(-2, -2, 1)); d != 8 {
+		t.Errorf("edge dist = %v", d)
+	}
+}
+
+func TestBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Pt(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10)
+	}
+	b := Bound(pts)
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Fatalf("bound misses %v", p)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package geom provides the primitive spatial types used throughout the
+// repository: three-dimensional points, squared-distance arithmetic and
+// axis-aligned bounding boxes. Two-dimensional data is represented with
+// Z = 0, as the paper treats the 2-D case as a trivial restriction of
+// the 3-D one.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in three-dimensional Euclidean space. Objects in a
+// dataset are sets of Points.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y, z float64) Point { return Point{X: x, Y: y, Z: z} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s, p.Z * s} }
+
+// Dot returns the dot product of p and q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y + p.Z*q.Z }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.Dot(p)) }
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return math.Sqrt(Dist2(p, q)) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+// Interaction tests compare Dist2 against r² to avoid square roots in
+// hot loops.
+func Dist2(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	dz := p.Z - q.Z
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Within reports whether the distance between p and q is at most r.
+// r must be non-negative.
+func Within(p, q Point, r float64) bool { return Dist2(p, q) <= r*r }
+
+// Axis selects a coordinate axis.
+type Axis int
+
+// The three coordinate axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// Coord returns the coordinate of p along the given axis.
+func (p Point) Coord(a Axis) float64 {
+	switch a {
+	case AxisX:
+		return p.X
+	case AxisY:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%g, %g, %g)", p.X, p.Y, p.Z)
+}

@@ -1,0 +1,211 @@
+package grid
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mio/internal/bitmap"
+	"mio/internal/geom"
+)
+
+// Posting is one posting list of a large-grid cell's inverted list: the
+// points of a single object that fall into the cell. Idx holds each
+// point's index within its object, parallel to Pts; the labeling scheme
+// of §III-D addresses points by (object, index).
+type Posting struct {
+	Obj int32
+	Pts []geom.Point
+	Idx []int32
+}
+
+// LargeCell is a large-grid cell (Definition 3): an inverted list of
+// postings, the membership bitset b(c), and the lazily computed
+// adjacency bitset b^adj(c) = OR of b over the cell and its 26
+// neighbours. The adjacency bitset stays unset until the upper-bounding
+// phase computes it (Algorithm 5 line 9) — never during grid mapping,
+// to avoid the cell access cost the paper calls out. It is stored
+// behind an atomic pointer so concurrent phases can memoise it without
+// locks.
+type LargeCell struct {
+	B        *bitmap.Compressed
+	adj      atomic.Pointer[bitmap.Compressed]
+	Postings []Posting
+}
+
+// Adj returns the memoised b^adj(c), or nil if not yet computed.
+func (c *LargeCell) Adj() *bitmap.Compressed { return c.adj.Load() }
+
+// Posting returns the posting list for obj, or nil. Postings are sorted
+// by object id (construction visits objects in id order), so lookup is
+// a binary search.
+func (c *LargeCell) Posting(obj int) []geom.Point {
+	i := sort.Search(len(c.Postings), func(i int) bool { return int(c.Postings[i].Obj) >= obj })
+	if i < len(c.Postings) && int(c.Postings[i].Obj) == obj {
+		return c.Postings[i].Pts
+	}
+	return nil
+}
+
+// LargeGrid is the upper-bounding and verification grid of a BIGrid.
+type LargeGrid struct {
+	width    float64
+	nObjects int
+	cells    map[Key]*LargeCell
+	// scratches pools per-goroutine accumulators for ComputeAdj so the
+	// 27-cell unions run without chained compressed merges.
+	scratches sync.Pool
+	// lastKey/lastCell memoise the most recent Add target: consecutive
+	// points of arbor- and trajectory-like objects usually fall into
+	// the same cell, skipping the hash lookup.
+	lastKey  Key
+	lastCell *LargeCell
+}
+
+// NewLargeGrid returns an empty large-grid with the given cell width
+// over a dataset of nObjects objects.
+func NewLargeGrid(width float64, nObjects int) *LargeGrid {
+	g := &LargeGrid{width: width, nObjects: nObjects, cells: make(map[Key]*LargeCell)}
+	g.scratches.New = func() any { return bitmap.NewScratch(nObjects) }
+	return g
+}
+
+// Width returns the cell width.
+func (g *LargeGrid) Width() float64 { return g.width }
+
+// KeyFor returns the large-grid key of p.
+func (g *LargeGrid) KeyFor(p geom.Point) Key { return KeyFor(p, g.width) }
+
+// Add maps point ptIdx of object obj into the grid, creating the cell
+// on demand, setting the obj bit and appending to the inverted list
+// (Algorithm 3 lines 15-21). Objects must be added in non-decreasing id
+// order, which keeps the posting lists sorted.
+func (g *LargeGrid) Add(obj, ptIdx int, p geom.Point) (Key, *LargeCell) {
+	k := g.KeyFor(p)
+	c := g.lastCell
+	if c == nil || k != g.lastKey {
+		var ok bool
+		c, ok = g.cells[k]
+		if !ok {
+			c = &LargeCell{B: bitmap.New()}
+			g.cells[k] = c
+		}
+		g.lastKey, g.lastCell = k, c
+	}
+	c.B.Set(obj)
+	if n := len(c.Postings); n > 0 && int(c.Postings[n-1].Obj) == obj {
+		c.Postings[n-1].Pts = append(c.Postings[n-1].Pts, p)
+		c.Postings[n-1].Idx = append(c.Postings[n-1].Idx, int32(ptIdx))
+	} else {
+		c.Postings = append(c.Postings, Posting{
+			Obj: int32(obj),
+			Pts: []geom.Point{p},
+			Idx: []int32{int32(ptIdx)},
+		})
+	}
+	return k, c
+}
+
+// Cell returns the cell with the given key, or nil.
+func (g *LargeGrid) Cell(k Key) *LargeCell { return g.cells[k] }
+
+// Len returns the number of non-empty cells.
+func (g *LargeGrid) Len() int { return len(g.cells) }
+
+// ForEach calls fn for every cell. Iteration order is unspecified.
+func (g *LargeGrid) ForEach(fn func(k Key, c *LargeCell)) {
+	for k, c := range g.cells {
+		fn(k, c)
+	}
+}
+
+// ComputeAdj computes and memoises b^adj for the cell with key k: the
+// OR of b(c') over k and its 26 adjacent cells. fresh reports whether
+// this call did the computation (false when it was already memoised or
+// another goroutine won the publish race). Safe for concurrent use
+// once grid construction has finished.
+func (g *LargeGrid) ComputeAdj(k Key) (adj *bitmap.Compressed, fresh bool) {
+	c := g.cells[k]
+	if c == nil {
+		return nil, false
+	}
+	if a := c.adj.Load(); a != nil {
+		return a, false
+	}
+	var neigh [27]Key
+	keys := k.NeighborsAndSelf(neigh[:0])
+	s := g.scratches.Get().(*bitmap.Scratch)
+	s.Reset()
+	for _, nk := range keys {
+		if nc := g.cells[nk]; nc != nil {
+			s.OrCompressed(nc.B)
+		}
+	}
+	a := s.ToCompressed()
+	g.scratches.Put(s)
+	if c.adj.CompareAndSwap(nil, a) {
+		return a, true
+	}
+	return c.adj.Load(), false
+}
+
+// MergeFrom merges other into g: bitsets are OR-ed and posting lists
+// concatenated. Merges must be applied in ascending object-range order
+// (the parallel grid builder partitions objects into contiguous ranges)
+// so posting lists stay sorted by object id. Adjacency bitsets must not
+// have been computed yet on either grid.
+func (g *LargeGrid) MergeFrom(other *LargeGrid) {
+	for k, oc := range other.cells {
+		c, ok := g.cells[k]
+		if !ok {
+			g.cells[k] = oc
+			continue
+		}
+		c.B = bitmap.Or(c.B, oc.B)
+		c.Postings = append(c.Postings, oc.Postings...)
+	}
+}
+
+// SizeBytes estimates the memory footprint of the grid: bitsets,
+// adjacency bitsets, postings and per-entry map overhead.
+func (g *LargeGrid) SizeBytes() int {
+	const entryOverhead = 16 + 8 + 48
+	total := 0
+	for _, c := range g.cells {
+		total += entryOverhead + c.B.SizeBytes()
+		if a := c.adj.Load(); a != nil {
+			total += a.SizeBytes()
+		}
+		for _, p := range c.Postings {
+			total += 16 /* posting header */ + len(p.Pts)*24 + len(p.Idx)*4
+		}
+	}
+	return total
+}
+
+// ForEachCard calls fn with each cell's object cardinality (diagnostic).
+func (g *LargeGrid) ForEachCard(fn func(card int)) {
+	for _, c := range g.cells {
+		fn(c.B.Cardinality())
+	}
+}
+
+// ComputeAdjRadius computes (without memoising) the union of b(c')
+// over every cell within Chebyshev distance radius of k. radius 1
+// matches ComputeAdj; larger radii implement the widened
+// neighbourhoods an offline grid built for r' < r must visit to stay
+// correct (Appendix A). It returns the union and the number of cell
+// lookups performed.
+func (g *LargeGrid) ComputeAdjRadius(k Key, radius int32) (*bitmap.Compressed, int) {
+	keys := k.NeighborhoodRadius(nil, radius)
+	s := g.scratches.Get().(*bitmap.Scratch)
+	s.Reset()
+	for _, nk := range keys {
+		if nc := g.cells[nk]; nc != nil {
+			s.OrCompressed(nc.B)
+		}
+	}
+	a := s.ToCompressed()
+	g.scratches.Put(s)
+	return a, len(keys)
+}

@@ -1,0 +1,184 @@
+// Package kdtree implements a static 3-D kd-tree over points. It backs
+// the NL-kd baseline (footnote 9 of the paper) and the closest-pair
+// preprocessing of the theoretical algorithm (§II-B).
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"mio/internal/geom"
+)
+
+// Tree is an immutable kd-tree. The zero Tree is empty.
+type Tree struct {
+	pts   []geom.Point // points in tree order
+	nodes []node
+}
+
+type node struct {
+	axis        int8
+	split       float64
+	lo, hi      int32 // point range covered by this node
+	left, right int32 // child node indices, -1 when leaf
+}
+
+const leafSize = 16
+
+// Build constructs a kd-tree over a copy of pts.
+func Build(pts []geom.Point) *Tree {
+	t := &Tree{pts: append([]geom.Point(nil), pts...)}
+	if len(t.pts) == 0 {
+		return t
+	}
+	t.build(0, len(t.pts))
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// build recursively partitions t.pts[lo:hi] and returns the node index.
+func (t *Tree) build(lo, hi int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{lo: int32(lo), hi: int32(hi), left: -1, right: -1})
+	if hi-lo <= leafSize {
+		return idx
+	}
+	// Split on the axis with the largest extent.
+	b := geom.Bound(t.pts[lo:hi])
+	ext := b.Extent()
+	axis := geom.AxisX
+	if ext.Y > ext.Coord(axis) {
+		axis = geom.AxisY
+	}
+	if ext.Z > ext.Coord(axis) {
+		axis = geom.AxisZ
+	}
+	mid := (lo + hi) / 2
+	sub := t.pts[lo:hi]
+	sort.Slice(sub, func(i, j int) bool { return sub[i].Coord(axis) < sub[j].Coord(axis) })
+	split := t.pts[mid].Coord(axis)
+
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[idx].axis = int8(axis)
+	t.nodes[idx].split = split
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// WithinExists reports whether some indexed point lies within distance
+// r of p. It prunes subtrees by split-plane distance and exits on the
+// first hit.
+func (t *Tree) WithinExists(p geom.Point, r float64) bool {
+	if len(t.pts) == 0 {
+		return false
+	}
+	return t.withinExists(0, p, r*r)
+}
+
+func (t *Tree) withinExists(ni int32, p geom.Point, r2 float64) bool {
+	n := &t.nodes[ni]
+	if n.left < 0 {
+		for _, q := range t.pts[n.lo:n.hi] {
+			if geom.Dist2(p, q) <= r2 {
+				return true
+			}
+		}
+		return false
+	}
+	d := p.Coord(geom.Axis(n.axis)) - n.split
+	first, second := n.left, n.right
+	if d > 0 {
+		first, second = n.right, n.left
+	}
+	if t.withinExists(first, p, r2) {
+		return true
+	}
+	if d*d <= r2 {
+		return t.withinExists(second, p, r2)
+	}
+	return false
+}
+
+// NearestDist2 returns the squared distance from p to its nearest
+// indexed point, or +Inf when the tree is empty.
+func (t *Tree) NearestDist2(p geom.Point) float64 {
+	best := math.Inf(1)
+	if len(t.pts) == 0 {
+		return best
+	}
+	t.nearest(0, p, &best)
+	return best
+}
+
+func (t *Tree) nearest(ni int32, p geom.Point, best *float64) {
+	n := &t.nodes[ni]
+	if n.left < 0 {
+		for _, q := range t.pts[n.lo:n.hi] {
+			if d := geom.Dist2(p, q); d < *best {
+				*best = d
+			}
+		}
+		return
+	}
+	d := p.Coord(geom.Axis(n.axis)) - n.split
+	first, second := n.left, n.right
+	if d > 0 {
+		first, second = n.right, n.left
+	}
+	t.nearest(first, p, best)
+	if d*d < *best {
+		t.nearest(second, p, best)
+	}
+}
+
+// MinDistBetween returns the minimum distance between any point of pts
+// and any point indexed by t (the closest-pair distance between two
+// objects). It returns +Inf when either side is empty.
+func (t *Tree) MinDistBetween(pts []geom.Point) float64 {
+	best := math.Inf(1)
+	if len(t.pts) == 0 {
+		return best
+	}
+	for _, p := range pts {
+		if d := t.nearestBounded(0, p, best); d < best {
+			best = d
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// nearestBounded is nearest-neighbour search that prunes against an
+// external bound.
+func (t *Tree) nearestBounded(ni int32, p geom.Point, bound float64) float64 {
+	best := bound
+	t.nearest2(ni, p, &best)
+	return best
+}
+
+func (t *Tree) nearest2(ni int32, p geom.Point, best *float64) {
+	n := &t.nodes[ni]
+	if n.left < 0 {
+		for _, q := range t.pts[n.lo:n.hi] {
+			if d := geom.Dist2(p, q); d < *best {
+				*best = d
+			}
+		}
+		return
+	}
+	d := p.Coord(geom.Axis(n.axis)) - n.split
+	first, second := n.left, n.right
+	if d > 0 {
+		first, second = n.right, n.left
+	}
+	t.nearest2(first, p, best)
+	if d*d < *best {
+		t.nearest2(second, p, best)
+	}
+}

@@ -1,0 +1,119 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mio/internal/geom"
+)
+
+func randPts(rng *rand.Rand, n int, spread float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*spread, rng.Float64()*spread, rng.Float64()*spread)
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has points")
+	}
+	if tr.WithinExists(geom.Pt(0, 0, 0), 100) {
+		t.Fatal("WithinExists on empty tree")
+	}
+	if !math.IsInf(tr.NearestDist2(geom.Pt(0, 0, 0)), 1) {
+		t.Fatal("NearestDist2 on empty tree not Inf")
+	}
+	if !math.IsInf(tr.MinDistBetween([]geom.Point{{X: 1}}), 1) {
+		t.Fatal("MinDistBetween on empty tree not Inf")
+	}
+}
+
+func TestWithinExistsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPts(rng, 1+rng.Intn(300), 100)
+		tr := Build(pts)
+		for probe := 0; probe < 50; probe++ {
+			p := geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10, rng.Float64()*120-10)
+			r := rng.Float64() * 30
+			want := false
+			for _, q := range pts {
+				if geom.Dist2(p, q) <= r*r {
+					want = true
+					break
+				}
+			}
+			if got := tr.WithinExists(p, r); got != want {
+				t.Fatalf("trial %d: WithinExists(%v, %g) = %v, want %v", trial, p, r, got, want)
+			}
+		}
+	}
+}
+
+func TestNearestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPts(rng, 1+rng.Intn(200), 50)
+		tr := Build(pts)
+		for probe := 0; probe < 30; probe++ {
+			p := geom.Pt(rng.Float64()*60-5, rng.Float64()*60-5, rng.Float64()*60-5)
+			want := math.Inf(1)
+			for _, q := range pts {
+				if d := geom.Dist2(p, q); d < want {
+					want = d
+				}
+			}
+			if got := tr.NearestDist2(p); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: NearestDist2 = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMinDistBetweenAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := randPts(rng, 1+rng.Intn(100), 40)
+		b := randPts(rng, 1+rng.Intn(100), 40)
+		tr := Build(b)
+		want := math.Inf(1)
+		for _, p := range a {
+			for _, q := range b {
+				if d := geom.Dist2(p, q); d < want {
+					want = d
+				}
+			}
+		}
+		want = math.Sqrt(want)
+		if got := tr.MinDistBetween(a); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: MinDistBetween = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(1, 2, 3) // all identical: degenerate splits
+	}
+	tr := Build(pts)
+	if !tr.WithinExists(geom.Pt(1, 2, 3), 0.001) {
+		t.Fatal("duplicate-point tree broken")
+	}
+	if d := tr.NearestDist2(geom.Pt(1, 2, 4)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("NearestDist2 = %v", d)
+	}
+}
+
+func TestBuildDoesNotAliasInput(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1, 1), geom.Pt(2, 2, 2)}
+	tr := Build(pts)
+	pts[0] = geom.Pt(99, 99, 99)
+	if !tr.WithinExists(geom.Pt(1, 1, 1), 0.1) {
+		t.Fatal("tree affected by caller mutation")
+	}
+}

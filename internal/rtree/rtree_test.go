@@ -1,0 +1,179 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mio/internal/geom"
+)
+
+func randEntries(rng *rand.Rand, n int, spread float64) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := geom.Pt(rng.Float64()*spread, rng.Float64()*spread, rng.Float64()*spread)
+		out[i] = Entry{Box: geom.Box{Min: p, Max: p}, ID: int32(i)}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 0)
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Fatal("empty tree wrong")
+	}
+	tr.SearchWithin(geom.Pt(0, 0, 0), 100, func(Entry) bool {
+		t.Fatal("visited entry in empty tree")
+		return true
+	})
+}
+
+func TestSingleEntry(t *testing.T) {
+	e := Entry{Box: geom.Box{Min: geom.Pt(1, 1, 1), Max: geom.Pt(1, 1, 1)}, ID: 7}
+	tr := Build([]Entry{e}, 0)
+	if tr.Len() != 1 || tr.Depth() != 1 {
+		t.Fatalf("len=%d depth=%d", tr.Len(), tr.Depth())
+	}
+	found := 0
+	tr.SearchWithin(geom.Pt(0, 0, 0), 2, func(got Entry) bool {
+		if got.ID != 7 {
+			t.Fatalf("id = %d", got.ID)
+		}
+		found++
+		return true
+	})
+	if found != 1 {
+		t.Fatalf("found = %d", found)
+	}
+	tr.SearchWithin(geom.Pt(0, 0, 0), 1, func(Entry) bool {
+		t.Fatal("entry outside radius visited")
+		return true
+	})
+}
+
+func TestSearchWithinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(800)
+		entries := randEntries(rng, n, 100)
+		tr := Build(entries, 1+rng.Intn(31))
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for probe := 0; probe < 20; probe++ {
+			p := geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10, rng.Float64()*120-10)
+			r := rng.Float64() * 25
+			want := map[int32]bool{}
+			for _, e := range entries {
+				if geom.Dist2(p, e.Box.Min) <= r*r {
+					want[e.ID] = true
+				}
+			}
+			got := map[int32]bool{}
+			tr.SearchWithin(p, r, func(e Entry) bool {
+				got[e.ID] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("trial %d: missing id %d", trial, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBoxWithinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Entries with real extents.
+	n := 300
+	entries := make([]Entry, n)
+	for i := range entries {
+		lo := geom.Pt(rng.Float64()*80, rng.Float64()*80, rng.Float64()*80)
+		hi := lo.Add(geom.Pt(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10))
+		entries[i] = Entry{Box: geom.Box{Min: lo, Max: hi}, ID: int32(i)}
+	}
+	tr := Build(entries, 8)
+	for probe := 0; probe < 30; probe++ {
+		lo := geom.Pt(rng.Float64()*80, rng.Float64()*80, rng.Float64()*80)
+		q := geom.Box{Min: lo, Max: lo.Add(geom.Pt(5, 5, 5))}
+		r := rng.Float64() * 15
+		want := 0
+		for _, e := range entries {
+			if boxDist2(e.Box, q) <= r*r {
+				want++
+			}
+		}
+		got := 0
+		tr.SearchBoxWithin(q, r, func(Entry) bool { got++; return true })
+		if got != want {
+			t.Fatalf("probe %d: got %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Build(randEntries(rng, 500, 10), 8)
+	visited := 0
+	tr.SearchWithin(geom.Pt(5, 5, 5), 100, func(Entry) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited = %d", visited)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Build(randEntries(rng, 10000, 1000), 16)
+	// 10000 entries at fanout 16: depth must be ~log16(10000/16)+1 ≈ 4,
+	// certainly not degenerate.
+	if d := tr.Depth(); d < 3 || d > 6 {
+		t.Fatalf("depth = %d", d)
+	}
+}
+
+func TestBoxDist2(t *testing.T) {
+	a := geom.Box{Min: geom.Pt(0, 0, 0), Max: geom.Pt(1, 1, 1)}
+	b := geom.Box{Min: geom.Pt(0.5, 0.5, 0.5), Max: geom.Pt(2, 2, 2)}
+	if d := boxDist2(a, b); d != 0 {
+		t.Fatalf("overlapping boxes dist %v", d)
+	}
+	c := geom.Box{Min: geom.Pt(3, 0, 0), Max: geom.Pt(4, 1, 1)}
+	if d := boxDist2(a, c); d != 4 {
+		t.Fatalf("face-gap dist %v, want 4", d)
+	}
+	e := geom.Box{Min: geom.Pt(3, 3, 3), Max: geom.Pt(4, 4, 4)}
+	if d := boxDist2(a, e); d != 12 {
+		t.Fatalf("corner-gap dist %v, want 12", d)
+	}
+	if boxDist2(a, c) != boxDist2(c, a) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestStrPackCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 15, 16, 17, 100, 1000} {
+		entries := randEntries(rng, n, 50)
+		tr := Build(entries, 16)
+		got := map[int32]bool{}
+		tr.SearchWithin(geom.Pt(25, 25, 25), 1e9, func(e Entry) bool {
+			got[e.ID] = true
+			return true
+		})
+		if len(got) != n {
+			ids := make([]int, 0, len(got))
+			for id := range got {
+				ids = append(ids, int(id))
+			}
+			sort.Ints(ids)
+			t.Fatalf("n=%d: tree holds %d entries", n, len(got))
+		}
+	}
+}

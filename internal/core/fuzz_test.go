@@ -240,3 +240,53 @@ func TestFractionalThresholds(t *testing.T) {
 		t.Fatal("no labels for ⌈r⌉=1")
 	}
 }
+
+// FuzzEngineAgainstOracle is the native fuzz target CI's smoke stage
+// drives (go test -fuzz=FuzzEngineAgainstOracle -fuzztime=30s): the
+// fuzzer steers dataset shape, threshold, k and worker count, and
+// every execution cross-checks the full pipeline against the
+// brute-force oracle. The seeds cover the serial engine, both
+// parallel partitioning strategy combinations, and a sub-cell-width
+// threshold.
+func FuzzEngineAgainstOracle(f *testing.F) {
+	f.Add(uint8(40), uint8(6), int64(1), 4.0, uint8(1), uint8(0), uint8(0))
+	f.Add(uint8(20), uint8(3), int64(7), 2.5, uint8(3), uint8(4), uint8(1))
+	f.Add(uint8(63), uint8(7), int64(9), 0.7, uint8(2), uint8(3), uint8(2))
+	f.Add(uint8(8), uint8(1), int64(5), 12.0, uint8(5), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, n, m uint8, seed int64, r float64, k, workers, strat uint8) {
+		if r <= 0 || r != r || r > 100 {
+			t.Skip("threshold out of the meaningful range")
+		}
+		ds := data.GenUniform(data.UniformConfig{
+			N: int(n%64) + 2, M: int(m%8) + 1,
+			FieldSize: 60, Spread: 6, Seed: seed,
+		})
+		opts := Options{Workers: int(workers % 6)}
+		if strat&1 != 0 {
+			opts.LB = LBHashP
+		}
+		if strat&2 != 0 {
+			opts.UB = UBGreedyD
+		}
+		eng, err := NewEngine(ds, opts)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		kk := int(k%5) + 1
+		res, err := eng.RunTopK(r, kk)
+		if err != nil {
+			t.Fatalf("RunTopK: %v", err)
+		}
+		oracle := baseline.NLScores(ds, r)
+		want := baseline.TopKFromScores(oracle, kk)
+		if len(res.TopK) != len(want) {
+			t.Fatalf("top-k length %d, oracle %d", len(res.TopK), len(want))
+		}
+		for i := range want {
+			if res.TopK[i].Score != want[i].Score {
+				t.Fatalf("opts=%+v r=%g: rank %d score %d, oracle %d",
+					opts, r, i, res.TopK[i].Score, want[i].Score)
+			}
+		}
+	})
+}

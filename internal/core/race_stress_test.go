@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"mio/internal/baseline"
+	"mio/internal/data"
+)
+
+// TestParallelPhasesRaceStress drives every parallel phase of §IV —
+// grid mapping, both lower-bounding strategies, both upper-bounding
+// strategies and the parallel verification of parallelExactScore —
+// across a GOMAXPROCS sweep on a dataset with many small objects (the
+// shape that maximizes per-object bitset churn). Each run is checked
+// against the serial engine, so a synchronization regression either
+// trips the race detector or produces a wrong top-k here.
+func TestParallelPhasesRaceStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	ds := data.GenUniform(data.UniformConfig{N: 150, M: 4, FieldSize: 80, Spread: 6, Seed: 31})
+	const r, k = 6.0, 5
+
+	serial, err := NewEngine(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.RunTopK(r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strategies := []Options{
+		{Workers: 4},
+		{Workers: 4, LB: LBHashP},
+		{Workers: 4, UB: UBGreedyD},
+		{Workers: 4, LB: LBHashP, UB: UBGreedyD},
+		{Workers: 16},
+	}
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for _, procs := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, opts := range strategies {
+			for round := 0; round < rounds; round++ {
+				eng, err := NewEngine(ds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.RunTopK(r, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want.TopK {
+					if got.TopK[i].Score != want.TopK[i].Score {
+						t.Fatalf("procs=%d opts=%+v round=%d: top-%d score %d, want %d",
+							procs, opts, round, i, got.TopK[i].Score, want.TopK[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelVerificationRaceStress forces the engine through the
+// verification phase with a threshold that keeps most objects as
+// candidates, so parallelExactScore's worker-local bitsets and the
+// round-robin point split carry real load. Scores are cross-checked
+// against the quadratic oracle.
+func TestParallelVerificationRaceStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	ds := data.GenUniform(data.UniformConfig{N: 90, M: 5, FieldSize: 45, Spread: 8, Seed: 32})
+	const r = 9.0
+	oracle := baseline.NLScores(ds, r)
+	best := baseline.TopKFromScores(oracle, 3)
+
+	for _, procs := range []int{2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{2, 4, 16} {
+			eng, err := NewEngine(ds, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.RunTopK(r, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range best {
+				if res.TopK[i].Score != best[i].Score {
+					t.Fatalf("procs=%d workers=%d: top-%d score %d, oracle %d",
+						procs, workers, i, res.TopK[i].Score, best[i].Score)
+				}
+			}
+		}
+	}
+}

@@ -24,14 +24,20 @@ import (
 // WriteText writes ds in the text format.
 func WriteText(w io.Writer, ds *Dataset) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# dataset %s: n=%d points=%d\n", ds.Name, ds.N(), ds.TotalPoints())
+	if _, err := fmt.Fprintf(bw, "# dataset %s: n=%d points=%d\n", ds.Name, ds.N(), ds.TotalPoints()); err != nil {
+		return err
+	}
 	for i := range ds.Objects {
 		o := &ds.Objects[i]
 		for j, p := range o.Pts {
+			var err error
 			if o.Times != nil {
-				fmt.Fprintf(bw, "%d %g %g %g %g\n", i, p.X, p.Y, p.Z, o.Times[j])
+				_, err = fmt.Fprintf(bw, "%d %g %g %g %g\n", i, p.X, p.Y, p.Z, o.Times[j])
 			} else {
-				fmt.Fprintf(bw, "%d %g %g %g\n", i, p.X, p.Y, p.Z)
+				_, err = fmt.Fprintf(bw, "%d %g %g %g\n", i, p.X, p.Y, p.Z)
+			}
+			if err != nil {
+				return err
 			}
 		}
 	}
@@ -112,14 +118,20 @@ const binMagic = uint64(0x4d494f4441544131) // "MIODATA1"
 func WriteBinary(w io.Writer, ds *Dataset) error {
 	bw := bufio.NewWriter(w)
 	var u [8]byte
+	var werr error // first write error; later puts become no-ops
 	put := func(v uint64) {
+		if werr != nil {
+			return
+		}
 		binary.LittleEndian.PutUint64(u[:], v)
-		bw.Write(u[:])
+		_, werr = bw.Write(u[:])
 	}
 	putF := func(v float64) { put(math.Float64bits(v)) }
 	put(binMagic)
 	put(uint64(len(ds.Name)))
-	bw.WriteString(ds.Name)
+	if werr == nil {
+		_, werr = bw.WriteString(ds.Name)
+	}
 	put(uint64(ds.N()))
 	for i := range ds.Objects {
 		o := &ds.Objects[i]
@@ -137,6 +149,9 @@ func WriteBinary(w io.Writer, ds *Dataset) error {
 				putF(o.Times[j])
 			}
 		}
+	}
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
@@ -217,13 +232,19 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 }
 
 // SaveFile writes ds to path, choosing the format by extension: ".txt"
-// for text, anything else binary.
-func SaveFile(path string, ds *Dataset) error {
+// for text, anything else binary. A failed Close is reported: on a
+// write path it can be the only signal that buffered data never
+// reached the disk.
+func SaveFile(path string, ds *Dataset) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if strings.HasSuffix(path, ".txt") {
 		return WriteText(f, ds)
 	}

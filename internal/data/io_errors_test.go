@@ -1,0 +1,87 @@
+package data
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// capWriter fails with errDiskFull once more than limit bytes have
+// been written, emulating a device that fills up mid-save.
+type capWriter struct {
+	n, limit int
+}
+
+var errDiskFull = errors.New("synthetic disk full")
+
+func (w *capWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errDiskFull
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+func bigDataset() *Dataset {
+	// ~2000 points: comfortably larger than bufio's 4 KiB buffer in
+	// both encodings, so the underlying writer is guaranteed to be hit
+	// before the final Flush.
+	return GenUniform(UniformConfig{N: 200, M: 10, FieldSize: 500, Spread: 5, Seed: 21})
+}
+
+// TestWriteTextPropagatesWriterError is the regression test for the
+// errcheck finding in WriteText: per-line Fprintf errors used to be
+// dropped, so a failure was only (sticky-)reported by the final
+// Flush; they now fail fast and must surface the writer's error.
+func TestWriteTextPropagatesWriterError(t *testing.T) {
+	err := WriteText(&capWriter{limit: 1 << 12}, bigDataset())
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteText on a full device returned %v, want errDiskFull", err)
+	}
+}
+
+// TestWriteBinaryPropagatesWriterError is the twin regression test for
+// the dropped bw.Write / bw.WriteString errors in WriteBinary.
+func TestWriteBinaryPropagatesWriterError(t *testing.T) {
+	err := WriteBinary(&capWriter{limit: 1 << 12}, bigDataset())
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteBinary on a full device returned %v, want errDiskFull", err)
+	}
+}
+
+// TestWriteTextZeroBudget exercises the very first write failing (the
+// header line), which the pre-fix code silently ignored until Flush.
+func TestWriteTextZeroBudget(t *testing.T) {
+	err := WriteText(&capWriter{limit: 0}, bigDataset())
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteText with no write budget returned %v, want errDiskFull", err)
+	}
+}
+
+// TestSaveFileRoundTripAfterFix guards that the explicit Close-error
+// handling in SaveFile did not disturb the happy path.
+func TestSaveFileRoundTripAfterFix(t *testing.T) {
+	ds := GenUniform(UniformConfig{N: 12, M: 4, FieldSize: 40, Spread: 3, Seed: 7})
+	for _, name := range []string{"ds.bin", "ds.txt"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveFile(path, ds); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if got.N() != ds.N() || got.TotalPoints() != ds.TotalPoints() {
+			t.Fatalf("%s round trip: got n=%d pts=%d, want n=%d pts=%d",
+				name, got.N(), got.TotalPoints(), ds.N(), ds.TotalPoints())
+		}
+	}
+}
+
+// TestSaveFileBadPath guards the Create-error path.
+func TestSaveFileBadPath(t *testing.T) {
+	ds := GenUniform(UniformConfig{N: 3, M: 2, FieldSize: 10, Spread: 1, Seed: 1})
+	if err := SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.bin"), ds); err == nil {
+		t.Fatal("SaveFile into a missing directory succeeded")
+	}
+}

@@ -75,6 +75,7 @@ func SmallWidth(r float64, dims int) float64 {
 	if dims == 2 {
 		return r / math.Sqrt2
 	}
+	//lint:ignore dist2 cell-width setup runs once per query, not in a point loop
 	return r / math.Sqrt(3)
 }
 

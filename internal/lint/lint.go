@@ -1,0 +1,201 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built only on the standard library's go/parser, go/ast
+// and go/types. It exists because the BIGrid pipeline's correctness
+// hangs on conventions the type system cannot express: squared
+// distances are compared against r², epoch-stamped scratch bitsets
+// must be Reset between phases, and the parallel phases must follow
+// strict goroutine hygiene. Each convention is enforced by an
+// Analyzer; cmd/miolint wires them to a CLI.
+//
+// Diagnostics can be suppressed at a specific line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or on the line directly above it.
+// The analyzer name "all" suppresses every analyzer. A reason is
+// mandatory; suppressions without one are reported themselves.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one repository-specific check. Run is invoked once per
+// loaded package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Pkg  *Package
+	an   *Analyzer
+	sink *[]Diagnostic
+	fset *token.FileSet
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.fset.Position(pos),
+		Analyzer: p.an.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Runner owns a set of analyzers and applies them to loaded packages.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// NewRunner returns a Runner with the full default analyzer suite.
+func NewRunner() *Runner {
+	return &Runner{Analyzers: DefaultAnalyzers()}
+}
+
+// DefaultAnalyzers returns the repository's standard suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Dist2Analyzer(nil),
+		ScratchAnalyzer(),
+		GoHygieneAnalyzer(),
+		ErrCheckAnalyzer(nil),
+		OptionsAnalyzer(nil),
+	}
+}
+
+// Disable removes the named analyzers (comma-separated) from the
+// runner. Unknown names are ignored.
+func (r *Runner) Disable(names string) {
+	drop := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		drop[strings.TrimSpace(n)] = true
+	}
+	kept := r.Analyzers[:0]
+	for _, a := range r.Analyzers {
+		if !drop[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	r.Analyzers = kept
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		var raw []Diagnostic
+		for _, a := range r.Analyzers {
+			p := &Pass{Pkg: pkg, an: a, sink: &raw, fset: pkg.Fset}
+			a.Run(p)
+		}
+		for _, d := range raw {
+			if sup.suppressed(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+		diags = append(diags, sup.malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// suppressions maps file:line to the analyzer names ignored there.
+type suppressions struct {
+	byLine    map[string]map[string]bool // "file:line" -> analyzer set
+	malformed []Diagnostic
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore(\s+(\S+))?(\s+(.*))?$`)
+
+// collectSuppressions scans //lint:ignore comments. A comment at line
+// L suppresses diagnostics on L and L+1, so both trailing and
+// preceding placement work.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason := m[2], strings.TrimSpace(m[4])
+				if name == "" || reason == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if s.byLine[key] == nil {
+						s.byLine[key] = map[string]bool{}
+					}
+					s.byLine[key][name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	set := s.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+	return set != nil && (set[d.Analyzer] || set["all"])
+}
+
+// walkFiles applies fn to every file of the package.
+func walkFiles(p *Pass, fn func(f *ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}
+
+// calleeName returns the bare name of a call's callee: "F" for F(...)
+// and pkg.F(...), "M" for x.M(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

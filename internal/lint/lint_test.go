@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expectations of the form
+//
+//	// want "substring" "another substring"
+//
+// from a fixture line. Every expectation must be matched by a
+// diagnostic on that line, and every diagnostic must be expected.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+var wantStrRe = regexp.MustCompile(`"([^"]*)"`)
+
+// TestAnalyzersGolden runs each analyzer against its fixture under
+// testdata and cross-checks diagnostics with the // want comments.
+func TestAnalyzersGolden(t *testing.T) {
+	tests := []struct {
+		name       string
+		file       string
+		importPath string // crafted so the analyzer's default scope applies
+		analyzer   *Analyzer
+	}{
+		{"dist2", "dist2.go", "fix/internal/core/d2", Dist2Analyzer(nil)},
+		{"scratch", "scratch.go", "fix/scratch", ScratchAnalyzer()},
+		{"gohygiene", "gohygiene.go", "fix/gohygiene", GoHygieneAnalyzer()},
+		{"errcheck", "errcheck.go", "fix/cmd/app", ErrCheckAnalyzer(nil)},
+		{"options", "options.go", "fix/examples/app", OptionsAnalyzer(nil)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := CheckSource(tc.importPath, map[string]string{tc.file: string(src)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range pkg.Errors {
+				t.Fatalf("fixture must type-check: %v", e)
+			}
+			runner := &Runner{Analyzers: []*Analyzer{tc.analyzer}}
+			diags := runner.Run([]*Package{pkg})
+			if len(diags) == 0 {
+				t.Fatalf("fixture produced no diagnostics; miolint would exit 0 on it")
+			}
+			checkWants(t, tc.file, string(src), diags)
+		})
+	}
+}
+
+func checkWants(t *testing.T, file, src string, diags []Diagnostic) {
+	t.Helper()
+	want := map[int][]string{} // line -> expected substrings
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, sm := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+			want[i+1] = append(want[i+1], sm[1])
+		}
+	}
+	got := map[int][]string{}
+	for _, d := range diags {
+		got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
+	}
+	for line, subs := range want {
+		for _, sub := range subs {
+			found := false
+			for _, msg := range got[line] {
+				if strings.Contains(msg, sub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected diagnostic containing %q, got %v", file, line, sub, got[line])
+			}
+		}
+	}
+	for line, msgs := range got {
+		if len(want[line]) == 0 {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", file, line, msgs)
+		}
+	}
+}
+
+// TestSuppression covers the //lint:ignore mechanics: trailing and
+// preceding placement, the "all" wildcard, name mismatch, and the
+// malformed-comment diagnostic.
+func TestSuppression(t *testing.T) {
+	const tmpl = `package p
+
+func fails() error { return nil }
+
+func f() {
+	%s
+}
+`
+	cases := []struct {
+		name    string
+		body    string
+		wantN   int
+		wantSub string
+	}{
+		{"trailing", `fails() //lint:ignore errcheck reasoned`, 0, ""},
+		{"preceding", "//lint:ignore errcheck reasoned\n\tfails()", 0, ""},
+		{"wildcard", `fails() //lint:ignore all reasoned`, 0, ""},
+		{"wrong-name", `fails() //lint:ignore dist2 reasoned`, 1, "silently dropped"},
+		{"missing-reason", `fails() //lint:ignore errcheck`, 2, "malformed"},
+		{"no-comment", `fails()`, 1, "silently dropped"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fmt.Sprintf(tmpl, tc.body)
+			pkg, err := CheckSource("fix/cmd/sup", map[string]string{"sup.go": src})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner := &Runner{Analyzers: []*Analyzer{ErrCheckAnalyzer(nil)}}
+			diags := runner.Run([]*Package{pkg})
+			if len(diags) != tc.wantN {
+				t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, tc.wantN)
+			}
+			if tc.wantN > 0 {
+				found := false
+				for _, d := range diags {
+					if strings.Contains(d.Message, tc.wantSub) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("no diagnostic in %v contains %q", diags, tc.wantSub)
+				}
+			}
+		})
+	}
+}
+
+// TestDisable checks analyzer filtering.
+func TestDisable(t *testing.T) {
+	r := NewRunner()
+	n := len(r.Analyzers)
+	r.Disable("errcheck, options")
+	if len(r.Analyzers) != n-2 {
+		t.Fatalf("Disable removed %d analyzers, want 2", n-len(r.Analyzers))
+	}
+	for _, a := range r.Analyzers {
+		if a.Name == "errcheck" || a.Name == "options" {
+			t.Fatalf("analyzer %s survived Disable", a.Name)
+		}
+	}
+}
+
+// TestRepoIsLintClean loads the real module and asserts the full suite
+// reports nothing: the conventions the analyzers enforce hold
+// everywhere, and stay held. This is the same gate CI applies via
+// `go run ./cmd/miolint ./...`.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against GOROOT sources")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; loader lost part of the module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("%s: type error: %v", pkg.Path, e)
+		}
+	}
+	diags := NewRunner().Run(pkgs)
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestLoaderFindsTestPackages asserts the loader sees in-package and
+// external test files, which several analyzers (options in
+// particular) must be able to inspect.
+func TestLoaderFindsTestPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	root := byPath[loader.ModulePath()]
+	if root == nil {
+		t.Fatalf("root package %s not loaded", loader.ModulePath())
+	}
+	hasTestFile := false
+	for _, f := range root.Files {
+		if strings.HasSuffix(root.Fset.Position(f.Pos()).Filename, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("root package loaded without its _test.go files")
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture for the dist2 analyzer. Self-contained: the analyzer keys
+// on the Dist2/NearestDist2/Dist2To names and on the math package, so
+// local stand-ins exercise the same paths as the real geom package.
+package fixture
+
+import "math"
+
+func Dist2(a, b float64) float64     { return (a - b) * (a - b) }
+func NearestDist2(a float64) float64 { return a * a }
+
+type Box struct{}
+
+func (Box) Dist2To(p float64) float64 { return p }
+
+func compare(r, radius, r2 float64, b Box) bool {
+	if Dist2(1, 2) <= r { // want "unsquared radius"
+		return true
+	}
+	if Dist2(1, 2) <= r*r { // squared: fine
+		return true
+	}
+	if r >= Dist2(3, 4) { // want "unsquared radius"
+		return true
+	}
+	if NearestDist2(1) < radius { // want "unsquared radius"
+		return true
+	}
+	if b.Dist2To(1) > r2 { // precomputed square: fine
+		return true
+	}
+	if b.Dist2To(1) > r+1 { // not a bare radius: out of scope
+		return true
+	}
+	return false
+}
+
+func hotSqrt(r float64) float64 {
+	x := math.Sqrt(r) // want "hot-path"
+	//lint:ignore dist2 fixture demonstrates suppression
+	y := math.Sqrt(r)
+	return x + y
+}

@@ -1,0 +1,33 @@
+// Fixture for the errcheck analyzer. Loaded under an import path
+// matching the default cmd//internal/data scope.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error       { return errors.New("x") }
+func pair() (int, error) { return 0, nil }
+func pure() int          { return 1 }
+
+func drops(f *os.File) {
+	fails() // want "silently dropped"
+	pair()  // want "silently dropped"
+	pure()  // no error in the results: fine
+	_ = fails()
+	if err := fails(); err != nil {
+		_ = err
+	}
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "ok")
+	fmt.Fprintln(os.Stdout, "ok")
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	fmt.Fprintln(f, "x") // want "silently dropped"
+	//lint:ignore errcheck fixture demonstrates suppression
+	fails()
+	defer f.Close() // deferred Close is conventional
+}

@@ -1,0 +1,21 @@
+// Fixture for the options analyzer. The local UniformConfig mirrors
+// data.UniformConfig's shape; matching is by type name.
+package fixture
+
+type UniformConfig struct {
+	N, M      int
+	FieldSize float64
+	Spread    float64
+	Seed      int64
+}
+
+type Unregistered struct{ A, B int }
+
+func lits() {
+	_ = UniformConfig{N: 10, M: 3, FieldSize: 10, Spread: 2, Seed: 1}
+	_ = UniformConfig{N: 10, M: 3, FieldSize: 10, Spread: 2} // Seed has a safe zero
+	_ = UniformConfig{N: 10, M: 3}                           // want "omits FieldSize, Spread"
+	_ = UniformConfig{}                                      // want "omits FieldSize, M, N, Spread"
+	_ = UniformConfig{10, 3, 10, 2, 1}                       // positional: complete by construction
+	_ = Unregistered{A: 1}                                   // not a registered config type
+}

@@ -1,0 +1,105 @@
+// Fixture for the scratch analyzer. The local Scratch mirrors the
+// bitmap.Scratch method surface the analyzer classifies.
+package fixture
+
+type Scratch struct{ bits []uint64 }
+
+func NewScratch(n int) *Scratch                           { return &Scratch{} }
+func (s *Scratch) Reset()                                 {}
+func (s *Scratch) Set(i int)                              {}
+func (s *Scratch) Clear(i int)                            {}
+func (s *Scratch) OrScratch(t *Scratch)                   {}
+func (s *Scratch) OrCompressed(c int)                     {}
+func (s *Scratch) AndNotFromCompressed(c int, t *Scratch) {}
+func (s *Scratch) Cardinality() int                       { return 0 }
+
+func reuseBug(items, out []int) {
+	s := NewScratch(8)
+	for i := range items {
+		s.Set(i) // want "without a Reset"
+		out[i] = s.Cardinality()
+	}
+}
+
+func reuseOK(items, out []int) {
+	s := NewScratch(8)
+	for i := range items {
+		s.Reset()
+		s.Set(i)
+		out[i] = s.Cardinality()
+	}
+}
+
+func unionOK(items []int) int {
+	s := NewScratch(8)
+	for i := range items {
+		s.Set(i) // accumulating a union, result read after the loop
+	}
+	return s.Cardinality()
+}
+
+func guardOK(items []int) {
+	s := NewScratch(8)
+	for i := range items {
+		s.Set(i)
+		if s.Cardinality() > 2 { // progress guard, not a result read
+			return
+		}
+	}
+}
+
+func andNotOK(items, out []int, t *Scratch) {
+	s := NewScratch(8)
+	for i := range items {
+		s.AndNotFromCompressed(i, t) // resets internally
+		s.Set(i)
+		out[i] = s.Cardinality()
+	}
+}
+
+// flattenBug shows that worker closures inside the loop body count as
+// part of the iteration.
+func flattenBug(locals []*Scratch, run func(func(int))) {
+	out := 0
+	for i := 0; i < 4; i++ {
+		run(func(w int) {
+			locals[w].Set(i) // want "without a Reset"
+		})
+		out += locals[0].Cardinality()
+	}
+	_ = out
+}
+
+func flattenOK(locals []*Scratch, run func(func(int))) {
+	out := 0
+	for i := 0; i < 4; i++ {
+		run(func(w int) {
+			locals[w].Reset()
+			locals[w].Set(i)
+		})
+		out += locals[0].Cardinality()
+	}
+	_ = out
+}
+
+func allocBug(items []int) {
+	for range items {
+		s := NewScratch(8) // want "hoist the allocation"
+		s.Set(1)
+	}
+}
+
+func poolOK(pool []*Scratch) {
+	for w := range pool {
+		pool[w] = NewScratch(8) // filling a worker pool: fine
+	}
+}
+
+func workerClosureOK(items []int, run func(func())) {
+	for range items {
+		run(func() {
+			s := NewScratch(8) // inside a closure: runs once per worker
+			s.Set(1)
+		})
+	}
+}

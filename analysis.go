@@ -1,6 +1,10 @@
 package mio
 
-import "mio/internal/core"
+import (
+	"context"
+
+	"mio/internal/core"
+)
 
 // SweepResult pairs a threshold with the query result it produced.
 type SweepResult = core.SweepResult
@@ -24,6 +28,22 @@ func (e *Engine) AllScores(r float64) ([]int, error) {
 // workload the paper optimises for.
 func (e *Engine) Sweep(rs []float64, k int) ([]SweepResult, error) {
 	return e.inner.Sweep(rs, k)
+}
+
+// InteractingSetContext is InteractingSet with cancellation.
+func (e *Engine) InteractingSetContext(ctx context.Context, r float64, obj int) ([]int, error) {
+	return e.inner.InteractingSetContext(ctx, r, obj)
+}
+
+// AllScoresContext is AllScores with cancellation.
+func (e *Engine) AllScoresContext(ctx context.Context, r float64) ([]int, error) {
+	return e.inner.AllScoresContext(ctx, r)
+}
+
+// SweepContext is Sweep with cancellation: ctx is threaded through
+// every per-threshold query, so one deadline bounds the whole sweep.
+func (e *Engine) SweepContext(ctx context.Context, rs []float64, k int) ([]SweepResult, error) {
+	return e.inner.SweepContext(ctx, rs, k)
 }
 
 // ScoreHistogram buckets a score vector into at most the given number

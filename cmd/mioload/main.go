@@ -1,0 +1,146 @@
+// Command mioload drives an MIO query server (cmd/miosrv) with a
+// Zipf-skewed repeated-r workload and reports client-side throughput
+// and latency percentiles next to the server-side serving metrics
+// (engine runs, coalesced requests, cache hits) observed over the run.
+//
+// Usage:
+//
+//	mioload -url http://localhost:8080 -n 2000 -c 16 -rs 4,5,6 -skew 1.3
+//	mioload -compare -scale 0.25       # self-contained A/B benchmark
+//
+// -compare needs no running server: it generates a Syn-style dataset,
+// starts two in-process servers — one with the full serving stack,
+// one with caching and coalescing disabled — and runs the identical
+// workload against both, demonstrating what the serving layer buys on
+// a repeated-threshold workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/server"
+	"mio/internal/server/loadgen"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8080", "target server root")
+		n       = flag.Int("n", 1000, "total requests")
+		c       = flag.Int("c", 8, "concurrent client workers")
+		rsList  = flag.String("rs", "4,5,6", "comma-separated threshold set")
+		skew    = flag.Float64("skew", 1.3, "Zipf skew over the threshold set (≤1 = uniform)")
+		k       = flag.Int("k", 1, "top-k per query")
+		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		compare = flag.Bool("compare", false, "run the self-contained A/B benchmark instead")
+		scale   = flag.Float64("scale", 0.25, "dataset size multiplier for -compare")
+		workers = flag.Int("workers", 1, "engine workers per query for -compare")
+		pool    = flag.Int("inflight", 2, "engine pool size for -compare")
+	)
+	flag.Parse()
+
+	rs, err := parseRS(*rsList)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Concurrency: *c,
+		Requests:    *n,
+		RValues:     rs,
+		Skew:        *skew,
+		K:           *k,
+		Seed:        *seed,
+		Timeout:     *timeout,
+	}
+
+	if *compare {
+		runCompare(cfg, *scale, *workers, *pool)
+		return
+	}
+	fmt.Printf("mioload: %d requests, %d workers, rs=%v skew=%g → %s\n\n",
+		cfg.Requests, cfg.Concurrency, rs, *skew, cfg.BaseURL)
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+// runCompare benchmarks the full serving stack against a stripped one
+// (no cache, no coalescing) on the same generated dataset and
+// workload. Both keep the label store, so the delta isolates what the
+// serving layer itself contributes.
+func runCompare(cfg loadgen.Config, scale float64, workers, pool int) {
+	gen := data.DefaultSyn()
+	gen.N = int(float64(gen.N) * scale)
+	if gen.N < 1 {
+		gen.N = 1
+	}
+	ds := data.GenPowerLaw(gen)
+	fmt.Printf("mioload -compare: %q dataset, %d objects, %d points; %d requests, %d workers, rs=%v skew=%g\n",
+		ds.Name, ds.N(), ds.TotalPoints(), cfg.Requests, cfg.Concurrency, cfg.RValues, cfg.Skew)
+
+	run := func(label string, srvCfg server.Config) *loadgen.Report {
+		s, err := server.New(ds, core.Options{Workers: workers, Labels: labelstore.NewStore()}, srvCfg)
+		if err != nil {
+			fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		runCfg := cfg
+		runCfg.BaseURL = ts.URL
+		rep, err := loadgen.Run(runCfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s\n%s", label, rep)
+		return rep
+	}
+
+	base := server.Config{MaxInFlight: pool, AdmissionWait: cfg.Timeout}
+	full := run("with cache + coalescing:", base)
+	stripped := base
+	stripped.DisableCache = true
+	stripped.DisableCoalesce = true
+	plain := run("without (every request runs the engine):", stripped)
+
+	fmt.Printf("\nsummary:\n")
+	fmt.Printf("  engine runs   %d vs %d\n", full.EngineRuns, plain.EngineRuns)
+	fmt.Printf("  coalesced     %d, cache hits %d (full stack)\n", full.Coalesced, full.CacheHits)
+	if plain.QPS > 0 {
+		fmt.Printf("  throughput    %.0f vs %.0f q/s (%.1fx)\n", full.QPS, plain.QPS, full.QPS/plain.QPS)
+	}
+	if full.Coalesced == 0 || full.CacheHits == 0 || full.QPS <= plain.QPS {
+		fmt.Println("  NOTE: expected coalesced > 0, cache hits > 0 and a throughput win; " +
+			"try more requests (-n) or a smaller dataset (-scale)")
+		os.Exit(1)
+	}
+}
+
+func parseRS(list string) ([]float64, error) {
+	parts := strings.Split(list, ",")
+	rs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("-rs entry %q is not a positive number", p)
+		}
+		rs = append(rs, r)
+	}
+	return rs, nil
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "mioload:", v)
+	os.Exit(1)
+}

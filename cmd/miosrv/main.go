@@ -1,0 +1,170 @@
+// Command miosrv serves MIO queries over HTTP: it loads (or
+// generates) a dataset once, keeps a pool of engines sharing one
+// label store so queries with the same ⌈r⌉ recycle label work
+// (§III-D), and wraps them in request coalescing, a bounded result
+// cache and admission control (DESIGN.md §9).
+//
+// Usage:
+//
+//	miosrv -data birds.bin -addr :8080 -inflight 4
+//	miosrv -gen syn -scale 0.5            # serve a generated dataset
+//	miosrv -data d.bin -no-cache -no-coalesce  # measure the raw engine
+//
+// Endpoints: GET /v1/query?r=&k=, /v1/interacting?r=&obj=,
+// /v1/scores?r=, /v1/sweep?rs=&k=, /healthz, /metrics; POST
+// /v1/dataset (only with -allow-swap). SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/server"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file to serve")
+		gen      = flag.String("gen", "", "serve a generated dataset instead: neuron, bird, syn or uniform")
+		scale    = flag.Float64("scale", 1, "size multiplier for -gen")
+		seed     = flag.Int64("seed", 1, "RNG seed for -gen")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 1, "CPU cores per engine (≥2 enables parallel processing)")
+		dims     = flag.Int("dims", 3, "data dimensionality (2 or 3)")
+		inflight = flag.Int("inflight", 1, "max concurrent engine runs (sizes the engine pool)")
+		labelDir = flag.String("labels", "", "directory for a persistent label store (default in-memory)")
+		noLabels = flag.Bool("no-labels", false, "disable the §III-D label store")
+		cacheSz  = flag.Int("cache", 256, "result cache capacity in entries")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache")
+		noCoal   = flag.Bool("no-coalesce", false, "disable request coalescing")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request engine deadline (0 disables)")
+		admWait  = flag.Duration("admission-wait", 100*time.Millisecond, "max time a request queues for an engine slot")
+		swap     = flag.Bool("allow-swap", false, "enable POST /v1/dataset (reads server-local paths)")
+	)
+	flag.Parse()
+
+	ds, err := loadOrGen(*dataPath, *gen, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{Dims: *dims, Workers: *workers}
+	if !*noLabels {
+		if *labelDir != "" {
+			store, err := labelstore.NewDiskStore(*labelDir)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Labels = store
+		} else {
+			opts.Labels = labelstore.NewStore()
+		}
+	}
+	cfg := server.Config{
+		MaxInFlight:     *inflight,
+		AdmissionWait:   *admWait,
+		QueryTimeout:    queryTimeout(*timeout),
+		CacheSize:       *cacheSz,
+		DisableCache:    *noCache,
+		DisableCoalesce: *noCoal,
+		AllowSwap:       *swap,
+	}
+	srv, err := server.New(ds, opts, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("miosrv: serving %q (%d objects, %d points) on %s  "+
+		"(pool %d, cache %v, coalesce %v)\n",
+		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-done:
+		// ListenAndServe only returns on failure here (Shutdown is the
+		// other path, taken below).
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "miosrv: draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "miosrv: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "miosrv: bye")
+}
+
+// queryTimeout maps the flag convention (0 disables) onto the server
+// convention (0 means default, negative disables).
+func queryTimeout(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+func loadOrGen(path, gen string, scale float64, seed int64) (*data.Dataset, error) {
+	switch {
+	case path != "" && gen != "":
+		return nil, errors.New("-data and -gen are mutually exclusive")
+	case path != "":
+		return data.LoadFile(path)
+	case gen == "":
+		return nil, errors.New("one of -data or -gen is required")
+	}
+	clamp := func(v float64) int {
+		if v < 1 {
+			return 1
+		}
+		return int(v)
+	}
+	switch gen {
+	case "neuron":
+		cfg := data.DefaultNeuron()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenNeuron(cfg), nil
+	case "bird":
+		cfg := data.DefaultBird()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenTrajectory(cfg), nil
+	case "syn":
+		cfg := data.DefaultSyn()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenPowerLaw(cfg), nil
+	case "uniform":
+		cfg := data.UniformConfig{N: clamp(2000 * scale), M: 16, FieldSize: 1000, Spread: 8, Seed: seed}
+		return data.GenUniform(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown -gen dataset %q", gen)
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "miosrv:", v)
+	os.Exit(1)
+}

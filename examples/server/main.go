@@ -1,0 +1,89 @@
+// Embedded MIO query server: mio.Handler wraps an engine with the
+// full serving stack — request coalescing, an LRU result cache and
+// admission control — as a plain http.Handler, here mounted on an
+// in-process httptest.Server and exercised with a repeated-r workload
+// so the cache and the label store (§III-D) both kick in. The same
+// handler can be mounted on any mux in a real process; cmd/miosrv is
+// the standalone flavour with an engine pool and dataset swapping.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"mio"
+)
+
+func getJSON(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s (%s)", path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func main() {
+	cfg := mio.DefaultNeuronConfig()
+	cfg.N = 200
+	ds := mio.GenerateNeuron(cfg)
+
+	eng, err := mio.NewEngine(ds, mio.WithLabels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(mio.Handler(eng, mio.ServerOptions{CacheSize: 64}))
+	defer ts.Close()
+	fmt.Printf("serving %d neurons at %s\n\n", ds.N(), ts.URL)
+
+	// Repeat a small set of thresholds, as a dashboard polling a few
+	// fixed views would: the second pass is answered from the cache.
+	var q struct {
+		Cached bool `json:"cached"`
+		Result struct {
+			Best struct {
+				Obj   int `json:"obj"`
+				Score int `json:"score"`
+			} `json:"best"`
+			Stats struct {
+				UsedLabels bool `json:"used_labels"`
+			} `json:"stats"`
+		} `json:"result"`
+	}
+	for pass := 1; pass <= 2; pass++ {
+		for _, r := range []float64{4, 4.5, 5} {
+			if err := getJSON(ts.URL, fmt.Sprintf("/v1/query?r=%g&k=3", r), &q); err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if q.Cached {
+				note = "  [cache hit]"
+			} else if q.Result.Stats.UsedLabels {
+				note = "  [labels reused]"
+			}
+			fmt.Printf("pass %d  r=%.1f: hub %3d with score %3d%s\n",
+				pass, r, q.Result.Best.Obj, q.Result.Best.Score, note)
+		}
+	}
+
+	var m struct {
+		EngineRuns uint64 `json:"engine_runs_total"`
+		Cache      struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := getJSON(ts.URL, "/metrics", &m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/metrics: %d engine runs for 6 requests (%d cache hits, %d misses)\n",
+		m.EngineRuns, m.Cache.Hits, m.Cache.Misses)
+}

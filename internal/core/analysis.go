@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,11 @@ import (
 // machinery for the single object, so it costs far less than a full
 // query.
 func (e *Engine) InteractingSet(r float64, obj int) ([]int, error) {
+	return e.InteractingSetContext(context.Background(), r, obj)
+}
+
+// InteractingSetContext is InteractingSet with cancellation.
+func (e *Engine) InteractingSetContext(ctx context.Context, r float64, obj int) ([]int, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
 	}
@@ -28,12 +34,19 @@ func (e *Engine) InteractingSet(r float64, obj int) ([]int, error) {
 		return nil, fmt.Errorf("core: object %d out of range [0, %d)", obj, e.ds.N())
 	}
 	q := newQuery(e, r, 1)
+	q.ctx = ctx
 	q.gridMapping()
+	if q.cancelled() {
+		return nil, ctx.Err()
+	}
 	bOi := bitmap.NewScratch(q.n)
 	mask := bitmap.NewScratch(q.n)
 	ctr := ctrSet{}
 	var neigh [27]grid.Key
 	q.exactScore(obj, bOi, mask, neigh[:0], &ctr)
+	if q.cancelled() {
+		return nil, ctx.Err()
+	}
 	out := make([]int, 0, bOi.Cardinality()-1)
 	bOi.ForEach(func(j int) bool {
 		if j != obj {
@@ -49,14 +62,27 @@ func (e *Engine) InteractingSet(r float64, obj int) ([]int, error) {
 // score is requested), useful for score-distribution analysis such as
 // verifying the power-law shape of the Syn workload.
 func (e *Engine) AllScores(r float64) ([]int, error) {
+	return e.AllScoresContext(context.Background(), r)
+}
+
+// AllScoresContext is AllScores with cancellation: the full scoring
+// loop checks ctx between objects.
+func (e *Engine) AllScoresContext(ctx context.Context, r float64) ([]int, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
 	}
 	q := newQuery(e, r, 1)
+	q.ctx = ctx
 	q.gridMapping()
+	if q.cancelled() {
+		return nil, ctx.Err()
+	}
 	scores := make([]int, q.n)
 	if t := e.opts.workers(); t > 1 {
 		for i := 0; i < q.n; i++ {
+			if q.cancelled() {
+				return nil, ctx.Err()
+			}
 			scores[i] = q.parallelExactScore(i)
 		}
 		return scores, nil
@@ -66,6 +92,9 @@ func (e *Engine) AllScores(r float64) ([]int, error) {
 	ctr := ctrSet{}
 	var neigh [27]grid.Key
 	for i := 0; i < q.n; i++ {
+		if q.cancelled() {
+			return nil, ctx.Err()
+		}
 		scores[i] = q.exactScore(i, bOi, mask, neigh[:0], &ctr)
 	}
 	return scores, nil
@@ -73,8 +102,8 @@ func (e *Engine) AllScores(r float64) ([]int, error) {
 
 // SweepResult pairs a threshold with its query result.
 type SweepResult struct {
-	R      float64
-	Result *Result
+	R      float64 `json:"r"`
+	Result *Result `json:"result"`
 }
 
 // Sweep runs top-k queries for every threshold in rs, in order. With a
@@ -82,10 +111,19 @@ type SweepResult struct {
 // (§I-B, §III-D): fine-grained thresholds share ⌈r⌉, so later queries
 // reuse the labels collected by earlier ones.
 func (e *Engine) Sweep(rs []float64, k int) ([]SweepResult, error) {
+	return e.SweepContext(context.Background(), rs, k)
+}
+
+// SweepContext is Sweep with cancellation: ctx is threaded through
+// every per-threshold query, so a deadline bounds the whole sweep.
+func (e *Engine) SweepContext(ctx context.Context, rs []float64, k int) ([]SweepResult, error) {
 	out := make([]SweepResult, 0, len(rs))
 	for _, r := range rs {
-		res, err := e.RunTopK(r, k)
+		res, err := e.RunTopKContext(ctx, r, k)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("core: sweep at r=%g: %w", r, err)
 		}
 		out = append(out, SweepResult{R: r, Result: res})

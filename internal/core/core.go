@@ -93,36 +93,40 @@ func (o Options) workers() int {
 }
 
 // Scored pairs an object id with its exact MIO score.
+//
+// The json tags on Scored, Result, PhaseStats and SweepResult define
+// the wire format served by internal/server and are a compatibility
+// surface: snake_case names, durations in nanoseconds (_ns suffix).
 type Scored struct {
-	Obj   int
-	Score int
+	Obj   int `json:"obj"`
+	Score int `json:"score"`
 }
 
 // PhaseStats records the per-phase wall-clock breakdown of one query
 // (the paper's Table II) plus work counters.
 type PhaseStats struct {
-	LabelInput    time.Duration
-	GridMapping   time.Duration
-	LowerBounding time.Duration
-	UpperBounding time.Duration
-	Verification  time.Duration
+	LabelInput    time.Duration `json:"label_input_ns"`
+	GridMapping   time.Duration `json:"grid_mapping_ns"`
+	LowerBounding time.Duration `json:"lower_bounding_ns"`
+	UpperBounding time.Duration `json:"upper_bounding_ns"`
+	Verification  time.Duration `json:"verification_ns"`
 
-	UsedLabels    bool // ran the §III-D variants
-	LabelBytes    int  // size of the label set read (O(nm) per §III-D)
-	Candidates    int  // |O_cand| after upper-bounding
-	Verified      int  // objects whose exact score was computed
-	DistanceComps int  // point-pair distance evaluations
-	AdjComputed   int  // b^adj cells materialised
+	UsedLabels    bool `json:"used_labels"`    // ran the §III-D variants
+	LabelBytes    int  `json:"label_bytes"`    // size of the label set read (O(nm) per §III-D)
+	Candidates    int  `json:"candidates"`     // |O_cand| after upper-bounding
+	Verified      int  `json:"verified"`       // objects whose exact score was computed
+	DistanceComps int  `json:"distance_comps"` // point-pair distance evaluations
+	AdjComputed   int  `json:"adj_computed"`   // b^adj cells materialised
 
-	SmallCells int
-	LargeCells int
-	IndexBytes int // BIGrid memory footprint
+	SmallCells int `json:"small_cells"`
+	LargeCells int `json:"large_cells"`
+	IndexBytes int `json:"index_bytes"` // BIGrid memory footprint
 	// Compression accounting (footnote 4 of the paper): the small-grid
 	// bitset payload as stored vs what dense n-bit-per-cell bitsets
 	// would occupy.
-	SmallGridBytes             int
-	SmallGridUncompressedBytes int
-	LargeGridBytes             int
+	SmallGridBytes             int `json:"small_grid_bytes"`
+	SmallGridUncompressedBytes int `json:"small_grid_uncompressed_bytes"`
+	LargeGridBytes             int `json:"large_grid_bytes"`
 }
 
 // Total returns the end-to-end processing time.
@@ -134,10 +138,10 @@ func (s PhaseStats) Total() time.Duration {
 type Result struct {
 	// Best is the most interactive object and its score. For k > 1 it
 	// is TopK[0].
-	Best Scored
+	Best Scored `json:"best"`
 	// TopK holds the k best objects in non-increasing score order.
-	TopK  []Scored
-	Stats PhaseStats
+	TopK  []Scored   `json:"top_k"`
+	Stats PhaseStats `json:"stats"`
 }
 
 // Engine processes MIO queries over one static, memory-resident

@@ -212,6 +212,12 @@ func (q *query) buildRange(lo, hi int) *bigrid {
 		b.keyLists = make([][]grid.Key, q.n)
 	}
 	for i := lo; i < hi; i++ {
+		// Grid mapping is the first long phase; poll so a query abandoned
+		// during index construction returns promptly. The truncated grid
+		// is discarded by run()'s post-phase ctx check.
+		if i&127 == 127 && q.cancelled() {
+			break
+		}
 		obj := &q.e.ds.Objects[i]
 		for j, p := range obj.Pts {
 			if q.skipPoint(i, j) {

@@ -219,7 +219,13 @@ func (q *query) parallelExactScore(i int) int {
 		}
 		var neigh [27]grid.Key
 		st := scoreState{}
-		for _, pt := range assign[w] {
+		for pi, pt := range assign[w] {
+			// Same mid-object cancellation polling as exactScore; each
+			// worker polls its own slice so abort stays prompt on every
+			// core. ctx.Done() is safe to poll concurrently.
+			if pi&255 == 255 && q.cancelled() {
+				break
+			}
 			q.scorePoint(i, int(pt), obj.Pts[pt], bOi, mask, neigh[:0], &ctrs[w], &st)
 		}
 	})

@@ -61,6 +61,14 @@ func (q *query) exactScore(i int, bOi, mask *bitmap.Scratch, neigh []grid.Key, c
 	obj := &q.e.ds.Objects[i]
 	st := scoreState{}
 	for j, p := range obj.Pts {
+		// Point-heavy objects (Neuron has thousands of points each) make
+		// a single exact score long enough that the per-candidate check
+		// in verification() is not prompt; poll inside the loop too. A
+		// cancelled run returns a truncated (wrong) score, which is fine:
+		// every caller discards the result once ctx.Err() is observed.
+		if j&255 == 255 && q.cancelled() {
+			break
+		}
 		if q.labels != nil {
 			l := q.labels.Get(i, j)
 			if l&labelstore.BitMapped == 0 || l&labelstore.BitVerify == 0 {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestResultJSONRoundTrip pins the wire format of the query result
+// types: marshalling and unmarshalling must be lossless, and the keys
+// must be the stable snake_case names internal/server promises, not
+// accidental Go field names.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := Result{
+		Best: Scored{Obj: 7, Score: 42},
+		TopK: []Scored{{Obj: 7, Score: 42}, {Obj: 3, Score: 40}},
+		Stats: PhaseStats{
+			LabelInput:    3 * time.Millisecond,
+			GridMapping:   5 * time.Millisecond,
+			LowerBounding: 7 * time.Millisecond,
+			UpperBounding: 11 * time.Millisecond,
+			Verification:  13 * time.Millisecond,
+
+			UsedLabels:    true,
+			LabelBytes:    100,
+			Candidates:    17,
+			Verified:      9,
+			DistanceComps: 12345,
+			AdjComputed:   8,
+
+			SmallCells: 21,
+			LargeCells: 6,
+			IndexBytes: 4096,
+
+			SmallGridBytes:             512,
+			SmallGridUncompressedBytes: 2048,
+			LargeGridBytes:             256,
+		},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mutated the result:\n in: %+v\nout: %+v", in, out)
+	}
+
+	// Every field of every wire type must carry an explicit snake_case
+	// json tag; an untagged field would leak its Go name onto the wire.
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Scored{}),
+		reflect.TypeOf(Result{}),
+		reflect.TypeOf(PhaseStats{}),
+		reflect.TypeOf(SweepResult{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := f.Tag.Get("json")
+			if tag == "" || tag == "-" {
+				t.Errorf("%s.%s: missing json tag", typ.Name(), f.Name)
+				continue
+			}
+			for _, c := range tag {
+				if c >= 'A' && c <= 'Z' {
+					t.Errorf("%s.%s: json tag %q is not snake_case", typ.Name(), f.Name, tag)
+					break
+				}
+			}
+		}
+	}
+
+	// Spot-check the key names actually emitted.
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"best", "top_k", "stats"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshalled Result lacks key %q (got %v)", key, keys(m))
+		}
+	}
+	stats, ok := m["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats did not marshal as an object")
+	}
+	for _, key := range []string{"grid_mapping_ns", "verification_ns", "distance_comps", "used_labels"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("marshalled PhaseStats lacks key %q", key)
+		}
+	}
+	if got := stats["grid_mapping_ns"].(float64); got != float64(5*time.Millisecond) {
+		t.Errorf("grid_mapping_ns = %v, want %v (nanoseconds)", got, float64(5*time.Millisecond))
+	}
+}
+
+func keys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

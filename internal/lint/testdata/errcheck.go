@@ -3,8 +3,10 @@
 package fixture
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 )
@@ -30,4 +32,14 @@ func drops(f *os.File) {
 	//lint:ignore errcheck fixture demonstrates suppression
 	fails()
 	defer f.Close() // deferred Close is conventional
+}
+
+// The graceful-shutdown pattern in server mains: Shutdown returns the
+// drain outcome and must not be dropped.
+func stop(srv *http.Server, ctx context.Context) {
+	srv.Shutdown(ctx) // want "silently dropped"
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = err
+	}
+	defer srv.Close() // deferred Close is conventional
 }

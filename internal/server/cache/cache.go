@@ -1,0 +1,104 @@
+// Package cache provides the bounded LRU result cache of the MIO
+// server. Entries are keyed by the full query identity (kind, r, k and
+// the dataset epoch — see internal/server), so a dataset swap
+// invalidates implicitly via the epoch in addition to the explicit
+// Clear the server performs. Values are immutable query results shared
+// between goroutines; callers must not mutate what they Get.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map. It is safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New returns a cache holding at most capacity entries. capacity < 1
+// is treated as 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and whether it was present,
+// marking the entry most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, replacing any existing entry and evicting
+// the least recently used entry when the cache is full.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+}
+
+// Clear drops every entry (hit/miss/eviction counters survive; they
+// describe the cache's lifetime, not its current contents).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the configured capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// Stats returns the lifetime hit, miss and eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

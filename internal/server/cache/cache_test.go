@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = (%v, %v), want (1, true)", v, ok)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order broken")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replacing put, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Get(a) = %v, want 2", v)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Clear")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	c := New(0) // clamped to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("most recent entry missing from capacity-1 cache")
+	}
+}
+
+// TestConcurrent exercises the lock under -race.
+func TestConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%32)
+				c.Put(key, i)
+				c.Get(key)
+				if i%100 == 0 {
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity 16", c.Len())
+	}
+}

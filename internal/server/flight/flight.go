@@ -1,0 +1,80 @@
+// Package flight implements request coalescing (single-flight): when
+// several callers ask for the same key concurrently, one of them — the
+// leader — executes the function while the rest wait and share its
+// result. For an MIO server this is the first line of defence against
+// redundant work: a burst of identical (r, k) queries costs one engine
+// run instead of many, before the result even reaches the cache.
+//
+// The package is a from-scratch, stdlib-only implementation shaped
+// after golang.org/x/sync/singleflight, reduced to what the server
+// needs plus a Pending inspection hook used by coalescing tests and
+// metrics.
+package flight
+
+import "sync"
+
+// call tracks one in-flight execution.
+type call struct {
+	wg   sync.WaitGroup
+	val  any
+	err  error
+	dups int // callers beyond the leader
+}
+
+// Group coalesces concurrent calls with equal keys. The zero value is
+// ready to use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn and returns its result, ensuring that at any moment
+// at most one execution per key is in flight. Concurrent callers with
+// the same key wait for the leader and receive its result with
+// shared = true (the leader gets shared = false). Once the leader
+// completes, the key is forgotten: a later Do starts a fresh
+// execution.
+//
+// A panic in fn propagates to the leader; waiters see a zero result
+// and a nil error, so callers should treat fn panics as bugs, not
+// control flow.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		// Forget the key and release waiters even if fn panicked, so a
+		// panicking handler cannot wedge every later caller of the key.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// Pending returns the number of callers currently attached to key: 0
+// when nothing is in flight, 1 for a lone leader, 1+n when n callers
+// are waiting to share the leader's result.
+func (g *Group) Pending(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.m[key]
+	if !ok {
+		return 0
+	}
+	return 1 + c.dups
+}

@@ -1,0 +1,137 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group
+	v, err, shared := g.Do("k", func() (any, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("Do = (%v, %v, %v), want (7, nil, false)", v, err, shared)
+	}
+	// The key is forgotten after completion: the next call re-executes.
+	ran := false
+	v, _, shared = g.Do("k", func() (any, error) { ran = true; return 8, nil })
+	if !ran || v != 8 || shared {
+		t.Fatalf("second Do = (%v, ran=%v, shared=%v), want fresh execution", v, ran, shared)
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, boom })
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestDoCoalesces blocks the leader until all followers are attached,
+// then checks that fn ran exactly once and every caller saw its value.
+func TestDoCoalesces(t *testing.T) {
+	var g Group
+	const followers = 9
+
+	var execs atomic.Int64
+	release := make(chan struct{})
+	results := make(chan int, followers+1)
+	sharedCount := atomic.Int64{}
+
+	launch := func() {
+		v, err, shared := g.Do("k", func() (any, error) {
+			execs.Add(1)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("Do returned err %v", err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+		results <- v.(int)
+	}
+
+	go launch()
+	// Wait for the leader to register, then attach followers.
+	waitPending(t, &g, "k", 1)
+	for i := 0; i < followers; i++ {
+		go launch()
+	}
+	waitPending(t, &g, "k", followers+1)
+	close(release)
+
+	for i := 0; i < followers+1; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, v)
+		}
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != followers {
+		t.Fatalf("%d callers reported shared, want %d", n, followers)
+	}
+	if p := g.Pending("k"); p != 0 {
+		t.Fatalf("Pending after completion = %d, want 0", p)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce runs two keys concurrently and checks
+// both functions execute.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, _ = g.Do(fmt.Sprintf("k%d", i), func() (any, error) {
+				execs.Add(1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("fn executed %d times, want 2", n)
+	}
+}
+
+// TestPanicReleasesWaiters ensures a panicking leader does not wedge
+// the key forever.
+func TestPanicReleasesWaiters(t *testing.T) {
+	var g Group
+	func() {
+		defer func() { _ = recover() }()
+		_, _, _ = g.Do("k", func() (any, error) { panic("boom") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		_, _, _ = g.Do("k", func() (any, error) { return nil, nil })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do after a panicked leader never returned; key is wedged")
+	}
+}
+
+func waitPending(t *testing.T, g *Group, key string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Pending(key) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("Pending(%q) stuck at %d, want %d", key, g.Pending(key), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,451 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/server/metrics"
+)
+
+// Wire DTOs. Query results reuse the json-tagged core types; the
+// envelopes below add the request echo and serving metadata.
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type queryResponse struct {
+	R         float64      `json:"r"`
+	K         int          `json:"k"`
+	Epoch     uint64       `json:"dataset_epoch"`
+	Cached    bool         `json:"cached"`
+	Coalesced bool         `json:"coalesced"`
+	Result    *core.Result `json:"result"`
+}
+
+type interactingResponse struct {
+	R         float64 `json:"r"`
+	Obj       int     `json:"obj"`
+	Epoch     uint64  `json:"dataset_epoch"`
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+	Count     int     `json:"count"`
+	IDs       []int   `json:"ids"`
+}
+
+// scoresPayload is the cached value for /v1/scores: the histogram and
+// percentiles always, the raw score vector only when full=1.
+type scoresPayload struct {
+	N               int   `json:"n"`
+	HistogramCounts []int `json:"histogram_counts"`
+	HistogramWidth  int   `json:"histogram_width"`
+	P50             int   `json:"p50"`
+	P90             int   `json:"p90"`
+	P99             int   `json:"p99"`
+	Max             int   `json:"max"`
+	Scores          []int `json:"scores,omitempty"`
+}
+
+type scoresResponse struct {
+	R         float64        `json:"r"`
+	Epoch     uint64         `json:"dataset_epoch"`
+	Cached    bool           `json:"cached"`
+	Coalesced bool           `json:"coalesced"`
+	Result    *scoresPayload `json:"result"`
+}
+
+type sweepResponse struct {
+	RS        []float64          `json:"rs"`
+	K         int                `json:"k"`
+	Epoch     uint64             `json:"dataset_epoch"`
+	Cached    bool               `json:"cached"`
+	Coalesced bool               `json:"coalesced"`
+	Results   []core.SweepResult `json:"results"`
+}
+
+type healthResponse struct {
+	Status   string  `json:"status"`
+	Dataset  string  `json:"dataset"`
+	Objects  int     `json:"objects"`
+	Points   int     `json:"points"`
+	Epoch    uint64  `json:"dataset_epoch"`
+	Draining bool    `json:"draining"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+type swapRequest struct {
+	Path string `json:"path"`
+}
+
+type swapResponse struct {
+	Dataset string `json:"dataset"`
+	Objects int    `json:"objects"`
+	Epoch   uint64 `json:"dataset_epoch"`
+}
+
+// CacheStats is the cache section of MetricsSnapshot.
+type CacheStats struct {
+	Enabled   bool   `json:"enabled"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// MetricsSnapshot is the /metrics document. cmd/mioload decodes it to
+// report server-side coalescing and cache effectiveness.
+type MetricsSnapshot struct {
+	UptimeS           float64                     `json:"uptime_s"`
+	Dataset           string                      `json:"dataset"`
+	Objects           int                         `json:"objects"`
+	DatasetEpoch      uint64                      `json:"dataset_epoch"`
+	InFlight          int64                       `json:"in_flight"`
+	MaxInFlight       int                         `json:"max_in_flight"`
+	CoalesceEnabled   bool                        `json:"coalesce_enabled"`
+	Requests          map[string]uint64           `json:"requests_total"`
+	EngineRuns        uint64                      `json:"engine_runs_total"`
+	Coalesced         uint64                      `json:"coalesced_total"`
+	AdmissionRejected uint64                      `json:"admission_rejected_total"`
+	BadRequests       uint64                      `json:"bad_request_total"`
+	Timeouts          uint64                      `json:"timeout_total"`
+	DrainRejected     uint64                      `json:"drain_rejected_total"`
+	Cache             CacheStats                  `json:"cache"`
+	HTTPLatency       map[string]metrics.Snapshot `json:"http_latency"`
+	PhaseLatency      map[string]metrics.Snapshot `json:"phase_latency"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/query", s.v1("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/interacting", s.v1("interacting", s.handleInteracting))
+	mux.HandleFunc("GET /v1/scores", s.v1("scores", s.handleScores))
+	mux.HandleFunc("GET /v1/sweep", s.v1("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/dataset", s.v1("swap", s.handleSwap))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// v1 wraps a query endpoint with drain gating, per-endpoint counters
+// and HTTP latency observation. Requests hold the drain read lock for
+// their duration, so Drain's write lock doubles as the in-flight
+// barrier.
+func (s *Server) v1(kind string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		s.drainMu.RLock()
+		defer s.drainMu.RUnlock()
+		if s.draining {
+			s.m.drainRejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.m.requests[kind].Inc()
+		t0 := time.Now()
+		h(w, req)
+		s.m.httpLat[kind].Observe(time.Since(t0))
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.parseR(w, req)
+	if !ok {
+		return
+	}
+	k, ok := s.parseIntParam(w, req, "k", 1, 1)
+	if !ok {
+		return
+	}
+	epoch := s.epoch.Load()
+	key := fmt.Sprintf("%d|query|%s|%d", epoch, rKey(r), k)
+	val, cached, coalesced, err := s.execute(key, func() (any, error) {
+		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
+			res, err := eng.RunTopKContext(ctx, r, k)
+			if err == nil {
+				s.observePhases(res.Stats)
+			}
+			return res, err
+		})
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		R: r, K: k, Epoch: epoch, Cached: cached, Coalesced: coalesced,
+		Result: val.(*core.Result),
+	})
+}
+
+func (s *Server) handleInteracting(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.parseR(w, req)
+	if !ok {
+		return
+	}
+	n := s.ds.Load().N()
+	obj, ok := s.parseIntParam(w, req, "obj", -1, 0)
+	if !ok {
+		return
+	}
+	if req.URL.Query().Get("obj") == "" || obj >= n {
+		s.badRequest(w, fmt.Sprintf("obj must be in [0, %d)", n))
+		return
+	}
+	epoch := s.epoch.Load()
+	key := fmt.Sprintf("%d|interacting|%s|%d", epoch, rKey(r), obj)
+	val, cached, coalesced, err := s.execute(key, func() (any, error) {
+		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
+			return eng.InteractingSetContext(ctx, r, obj)
+		})
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	ids := val.([]int)
+	writeJSON(w, http.StatusOK, interactingResponse{
+		R: r, Obj: obj, Epoch: epoch, Cached: cached, Coalesced: coalesced,
+		Count: len(ids), IDs: ids,
+	})
+}
+
+func (s *Server) handleScores(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.parseR(w, req)
+	if !ok {
+		return
+	}
+	buckets, ok := s.parseIntParam(w, req, "buckets", 12, 1)
+	if !ok {
+		return
+	}
+	full := req.URL.Query().Get("full") == "1"
+	epoch := s.epoch.Load()
+	key := fmt.Sprintf("%d|scores|%s|%d|%v", epoch, rKey(r), buckets, full)
+	val, cached, coalesced, err := s.execute(key, func() (any, error) {
+		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
+			scores, err := eng.AllScoresContext(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			counts, width := core.ScoreHistogram(scores, buckets)
+			p := &scoresPayload{
+				N:               len(scores),
+				HistogramCounts: counts,
+				HistogramWidth:  width,
+				P50:             core.TopPercentile(scores, 0.50),
+				P90:             core.TopPercentile(scores, 0.90),
+				P99:             core.TopPercentile(scores, 0.99),
+				Max:             core.TopPercentile(scores, 1.0),
+			}
+			if full {
+				p.Scores = scores
+			}
+			return p, nil
+		})
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scoresResponse{
+		R: r, Epoch: epoch, Cached: cached, Coalesced: coalesced,
+		Result: val.(*scoresPayload),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
+	rsParam := req.URL.Query().Get("rs")
+	if rsParam == "" {
+		s.badRequest(w, "missing rs (comma-separated thresholds)")
+		return
+	}
+	parts := strings.Split(rsParam, ",")
+	if len(parts) > s.cfg.MaxSweep {
+		s.badRequest(w, fmt.Sprintf("sweep of %d thresholds exceeds the limit of %d", len(parts), s.cfg.MaxSweep))
+		return
+	}
+	rs := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || r <= 0 {
+			s.badRequest(w, fmt.Sprintf("rs entry %q is not a positive number", p))
+			return
+		}
+		rs = append(rs, r)
+	}
+	k, ok := s.parseIntParam(w, req, "k", 1, 1)
+	if !ok {
+		return
+	}
+	epoch := s.epoch.Load()
+	keys := make([]string, len(rs))
+	for i, r := range rs {
+		keys[i] = rKey(r)
+	}
+	key := fmt.Sprintf("%d|sweep|%s|%d", epoch, strings.Join(keys, ","), k)
+	val, cached, coalesced, err := s.execute(key, func() (any, error) {
+		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
+			out, err := eng.SweepContext(ctx, rs, k)
+			if err != nil {
+				return nil, err
+			}
+			for _, sr := range out {
+				s.observePhases(sr.Result.Stats)
+			}
+			return out, nil
+		})
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse{
+		RS: rs, K: k, Epoch: epoch, Cached: cached, Coalesced: coalesced,
+		Results: val.([]core.SweepResult),
+	})
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, req *http.Request) {
+	if !s.cfg.AllowSwap {
+		writeError(w, http.StatusForbidden, "dataset swapping is disabled (start the server with swapping allowed)")
+		return
+	}
+	var sr swapRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil || sr.Path == "" {
+		s.badRequest(w, `body must be {"path": "<dataset file>"}`)
+		return
+	}
+	ds, err := data.LoadFile(sr.Path)
+	if err != nil {
+		s.badRequest(w, fmt.Sprintf("loading dataset: %v", err))
+		return
+	}
+	if err := s.SwapDataset(ds); err != nil {
+		s.badRequest(w, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, swapResponse{
+		Dataset: ds.Name, Objects: ds.N(), Epoch: s.epoch.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	ds := s.ds.Load()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: status, Dataset: ds.Name, Objects: ds.N(), Points: ds.TotalPoints(),
+		Epoch: s.epoch.Load(), Draining: draining,
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	withBuckets := req.URL.Query().Get("buckets") == "1"
+	hits, misses, evictions := s.cache.Stats()
+	ds := s.ds.Load()
+	snap := MetricsSnapshot{
+		UptimeS:           time.Since(s.start).Seconds(),
+		Dataset:           ds.Name,
+		Objects:           ds.N(),
+		DatasetEpoch:      s.epoch.Load(),
+		InFlight:          s.m.inFlight.Value(),
+		MaxInFlight:       cap(s.slots),
+		CoalesceEnabled:   !s.cfg.DisableCoalesce,
+		Requests:          make(map[string]uint64, len(endpointKinds)),
+		EngineRuns:        s.m.engineRuns.Value(),
+		Coalesced:         s.m.coalesced.Value(),
+		AdmissionRejected: s.m.rejected.Value(),
+		BadRequests:       s.m.badRequests.Value(),
+		Timeouts:          s.m.timeouts.Value(),
+		DrainRejected:     s.m.drainRejected.Value(),
+		Cache: CacheStats{
+			Enabled: !s.cfg.DisableCache, Hits: hits, Misses: misses,
+			Evictions: evictions, Size: s.cache.Len(), Capacity: s.cache.Cap(),
+		},
+		HTTPLatency:  make(map[string]metrics.Snapshot, len(endpointKinds)),
+		PhaseLatency: make(map[string]metrics.Snapshot, len(phaseNames)),
+	}
+	for _, k := range endpointKinds {
+		snap.Requests[k] = s.m.requests[k].Value()
+		snap.HTTPLatency[k] = s.m.httpLat[k].Snapshot(withBuckets)
+	}
+	for _, p := range phaseNames {
+		snap.PhaseLatency[p] = s.m.phaseLat[p].Snapshot(withBuckets)
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// ---- parsing and writing helpers ----
+
+// parseR extracts the mandatory positive distance threshold.
+func (s *Server) parseR(w http.ResponseWriter, req *http.Request) (float64, bool) {
+	raw := req.URL.Query().Get("r")
+	if raw == "" {
+		s.badRequest(w, "missing r (distance threshold)")
+		return 0, false
+	}
+	r, err := strconv.ParseFloat(raw, 64)
+	if err != nil || r <= 0 {
+		s.badRequest(w, fmt.Sprintf("r=%q is not a positive number", raw))
+		return 0, false
+	}
+	return r, true
+}
+
+// parseIntParam extracts an optional integer parameter with a default
+// and a minimum.
+func (s *Server) parseIntParam(w http.ResponseWriter, req *http.Request, name string, def, minVal int) (int, bool) {
+	raw := req.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < minVal {
+		s.badRequest(w, fmt.Sprintf("%s=%q is not an integer ≥ %d", name, raw, minVal))
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.m.badRequests.Inc()
+	writeError(w, http.StatusBadRequest, msg)
+}
+
+func (s *Server) writeExecError(w http.ResponseWriter, err error) {
+	code := s.statusFor(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, code, err.Error())
+}
+
+// rKey renders r for use in cache/flight keys: full precision so
+// distinct thresholds never collide.
+func rKey(r float64) string { return strconv.FormatFloat(r, 'g', 17, 64) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// An encode failure here means the client hung up mid-write;
+	// there is nobody left to report it to.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

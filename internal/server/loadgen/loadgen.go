@@ -1,0 +1,241 @@
+// Package loadgen drives an MIO query server (internal/server, via
+// cmd/miosrv or an embedded handler) with a configurable open-loop
+// workload and reports throughput, latency percentiles and the
+// server-side serving metrics (cache hits, coalesced runs) observed
+// during the run.
+//
+// The threshold mix is Zipf-skewed over a fixed set of r values: real
+// monitoring workloads ask a few popular thresholds most of the time,
+// which is exactly the shape request coalescing and result caching
+// exploit. A uniform mix (Skew = 0) is available as the adversarial
+// baseline.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mio/internal/server"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// Requests is the total number of requests to issue (default 1000).
+	Requests int
+	// RValues is the threshold set workers draw from (default {4,5,6}).
+	RValues []float64
+	// Skew is the Zipf s parameter over RValues; values ≤ 1 select a
+	// uniform draw. Higher skew concentrates load on RValues[0].
+	Skew float64
+	// K is the top-k passed on every query (default 1).
+	K int
+	// Seed makes the workload reproducible (default 1).
+	Seed int64
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency < 1 {
+		c.Concurrency = 8
+	}
+	if c.Requests < 1 {
+		c.Requests = 1000
+	}
+	if len(c.RValues) == 0 {
+		c.RValues = []float64{4, 5, 6}
+	}
+	if c.K < 1 {
+		c.K = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Requests int
+	Errors   int           // transport errors
+	Status   map[int]int   // HTTP status → count
+	Elapsed  time.Duration // wall clock for the whole run
+	QPS      float64       // successful (200) responses per second
+	P50      time.Duration // client-observed latency percentiles
+	P90      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+
+	// Server-side deltas over the run, from /metrics.
+	EngineRuns  uint64
+	Coalesced   uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	Rejected    uint64 // admission-control 429s
+}
+
+// String renders the report as the human-readable block cmd/mioload
+// prints.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  requests      %d (%d errors)\n", r.Requests, r.Errors)
+	codes := make([]int, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "    HTTP %d      %d\n", c, r.Status[c])
+	}
+	fmt.Fprintf(&b, "  elapsed       %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput    %.0f q/s\n", r.QPS)
+	fmt.Fprintf(&b, "  latency       p50 %v  p90 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  engine runs   %d\n", r.EngineRuns)
+	fmt.Fprintf(&b, "  coalesced     %d\n", r.Coalesced)
+	fmt.Fprintf(&b, "  cache         %d hits / %d misses\n", r.CacheHits, r.CacheMisses)
+	if r.Rejected > 0 {
+		fmt.Fprintf(&b, "  rejected 429  %d\n", r.Rejected)
+	}
+	return b.String()
+}
+
+// picker draws threshold indices; Zipf-skewed when cfg.Skew > 1.
+type picker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newPicker(cfg Config, seed int64) *picker {
+	p := &picker{rng: rand.New(rand.NewSource(seed)), n: len(cfg.RValues)}
+	if cfg.Skew > 1 && p.n > 1 {
+		p.zipf = rand.NewZipf(p.rng, cfg.Skew, 1, uint64(p.n-1))
+	}
+	return p
+}
+
+func (p *picker) next() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// Run executes the workload and gathers the report. The server's
+// /metrics endpoint is read before and after to compute serving
+// deltas, so concurrent external traffic would pollute them.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{Timeout: cfg.Timeout}
+	before, err := fetchMetrics(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: server unreachable: %w", err)
+	}
+
+	type workerOut struct {
+		lat    []time.Duration
+		status map[int]int
+		errs   int
+	}
+	outs := make([]workerOut, cfg.Concurrency)
+	var wg sync.WaitGroup
+	share := cfg.Requests / cfg.Concurrency
+	extra := cfg.Requests % cfg.Concurrency
+	t0 := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		n := share
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			pick := newPicker(cfg, cfg.Seed+int64(w)*7919)
+			out := workerOut{status: make(map[int]int), lat: make([]time.Duration, 0, n)}
+			for i := 0; i < n; i++ {
+				r := cfg.RValues[pick.next()]
+				url := fmt.Sprintf("%s/v1/query?r=%g&k=%d", cfg.BaseURL, r, cfg.K)
+				q0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					out.errs++
+					continue
+				}
+				resp.Body.Close()
+				out.lat = append(out.lat, time.Since(q0))
+				out.status[resp.StatusCode]++
+			}
+			outs[w] = out
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	after, err := fetchMetrics(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading post-run metrics: %w", err)
+	}
+
+	rep := &Report{Requests: cfg.Requests, Status: make(map[int]int), Elapsed: elapsed}
+	var lats []time.Duration
+	for _, out := range outs {
+		rep.Errors += out.errs
+		for c, n := range out.status {
+			rep.Status[c] += n
+		}
+		lats = append(lats, out.lat...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50, rep.P90, rep.P99 = quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.Max = lats[len(lats)-1]
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(rep.Status[http.StatusOK]) / secs
+	}
+	rep.EngineRuns = after.EngineRuns - before.EngineRuns
+	rep.Coalesced = after.Coalesced - before.Coalesced
+	rep.CacheHits = after.Cache.Hits - before.Cache.Hits
+	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
+	rep.Rejected = after.AdmissionRejected - before.AdmissionRejected
+	return rep, nil
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fetchMetrics(client *http.Client, base string) (*server.MetricsSnapshot, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

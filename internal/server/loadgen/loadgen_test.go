@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	ds := data.GenUniform(data.UniformConfig{N: 100, M: 6, FieldSize: 30, Spread: 5, Seed: 9})
+	s, err := server.New(ds, core.Options{Labels: labelstore.NewStore()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunAgainstServer(t *testing.T) {
+	ts := startServer(t, server.Config{MaxInFlight: 2, AdmissionWait: 5 * time.Second})
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    200,
+		RValues:     []float64{5, 6},
+		Skew:        1.5,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("report has %d transport errors", rep.Errors)
+	}
+	if rep.Status[200] != 200 {
+		t.Fatalf("status map = %v, want 200×200", rep.Status)
+	}
+	// A repeated-r workload must be absorbed by cache + coalescing:
+	// far fewer engine runs than requests, and accounting must add up.
+	if rep.EngineRuns >= 200 {
+		t.Errorf("engine runs = %d for 200 repeated-r requests", rep.EngineRuns)
+	}
+	if rep.CacheHits == 0 {
+		t.Error("no cache hits under a repeated-r workload")
+	}
+	// Every request is exactly one cache hit or miss; every miss is
+	// either a coalesced follower or an engine run.
+	if got := rep.CacheHits + rep.CacheMisses; got != 200 {
+		t.Errorf("hits(%d)+misses(%d) = %d, want 200", rep.CacheHits, rep.CacheMisses, got)
+	}
+	if rep.CacheMisses != rep.EngineRuns+rep.Coalesced {
+		t.Errorf("misses(%d) != runs(%d)+coalesced(%d)",
+			rep.CacheMisses, rep.EngineRuns, rep.Coalesced)
+	}
+	if rep.QPS <= 0 || rep.P50 <= 0 || rep.Max < rep.P99 {
+		t.Errorf("implausible timings: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+func TestRunUnreachable(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://127.0.0.1:1", Requests: 1}); err == nil {
+		t.Fatal("expected an error for an unreachable server")
+	}
+}
+
+func TestPickerSkew(t *testing.T) {
+	cfg := Config{RValues: []float64{4, 5, 6, 7}, Skew: 2.0}.withDefaults()
+	p := newPicker(cfg, 42)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[p.next()]++
+	}
+	if counts[0] <= counts[3] {
+		t.Errorf("zipf draw not skewed toward index 0: %v", counts)
+	}
+	// Skew ≤ 1 falls back to uniform.
+	uni := newPicker(Config{RValues: []float64{4, 5}, Skew: 0}.withDefaults(), 42)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[uni.next()] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("uniform picker visited %d of 2 indices", len(seen))
+	}
+}

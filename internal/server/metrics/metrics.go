@@ -1,0 +1,176 @@
+// Package metrics provides the small, allocation-free instruments the
+// MIO server exports on /metrics: atomic counters and gauges, plus a
+// fixed-bucket latency histogram sized for query latencies from tens
+// of microseconds to seconds. Everything is stdlib-only and safe for
+// concurrent use.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways (e.g. the
+// in-flight request count).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBounds spans 50µs .. 10s in roughly 2.5x steps — wide
+// enough for a cached hit on one end and a cold multi-second sweep on
+// the other.
+func DefaultLatencyBounds() []time.Duration {
+	return []time.Duration{
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		1 * time.Millisecond,
+		2500 * time.Microsecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		1 * time.Second,
+		2500 * time.Millisecond,
+		5 * time.Second,
+		10 * time.Second,
+	}
+}
+
+// Histogram is a cumulative-bucket latency histogram with fixed upper
+// bounds (plus an implicit +Inf bucket).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []time.Duration
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    time.Duration
+	count  uint64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds; nil selects DefaultLatencyBounds.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += d
+	h.count++
+}
+
+// Bucket is one histogram bucket on the wire: the count of samples at
+// or below the upper bound. LeMs < 0 marks the +Inf bucket.
+type Bucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of a histogram, with
+// estimated percentiles (linear interpolation inside buckets).
+type Snapshot struct {
+	Count   uint64   `json:"count"`
+	SumMs   float64  `json:"sum_ms"`
+	MeanMs  float64  `json:"mean_ms"`
+	P50Ms   float64  `json:"p50_ms"`
+	P90Ms   float64  `json:"p90_ms"`
+	P99Ms   float64  `json:"p99_ms"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current state. withBuckets includes the raw
+// bucket counts (the /metrics default omits them to keep the payload
+// small; pass true for debugging).
+func (h *Histogram) Snapshot(withBuckets bool) Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count, SumMs: ms(h.sum)}
+	if h.count > 0 {
+		s.MeanMs = s.SumMs / float64(h.count)
+	}
+	s.P50Ms = h.quantileLocked(0.50)
+	s.P90Ms = h.quantileLocked(0.90)
+	s.P99Ms = h.quantileLocked(0.99)
+	if withBuckets {
+		s.Buckets = make([]Bucket, 0, len(h.counts))
+		for i, c := range h.counts {
+			b := Bucket{LeMs: -1, Count: c}
+			if i < len(h.bounds) {
+				b.LeMs = ms(h.bounds[i])
+			}
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	return s
+}
+
+// quantileLocked estimates the q-quantile in milliseconds. The +Inf
+// bucket is reported as the largest finite bound (the estimate is a
+// floor, not an upper bound, once samples overflow the bounds).
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return ms(h.bounds[len(h.bounds)-1])
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return ms(hi)
+		}
+		// Linear interpolation of the rank inside this bucket.
+		within := (rank - float64(cum-c)) / float64(c)
+		return ms(lo) + within*(ms(hi)-ms(lo))
+	}
+	return ms(h.bounds[len(h.bounds)-1])
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Minute)            // +Inf
+	s := h.Snapshot(true)
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	wantCounts := []uint64{1, 1, 1}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if s.Buckets[2].LeMs != -1 {
+		t.Errorf("last bucket LeMs = %v, want -1 (+Inf marker)", s.Buckets[2].LeMs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 100 samples at ~2ms: p50 and p99 must land in the (1ms, 2.5ms]
+	// bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	s := h.Snapshot(false)
+	for name, q := range map[string]float64{"p50": s.P50Ms, "p99": s.P99Ms} {
+		if q <= 1.0 || q > 2.5 {
+			t.Errorf("%s = %vms, want within (1, 2.5]", name, q)
+		}
+	}
+	if s.MeanMs != 2.0 {
+		t.Errorf("mean = %v, want 2.0", s.MeanMs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot(false)
+	if s.Count != 0 || s.P50Ms != 0 || s.MeanMs != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+func TestSnapshotJSONKeys(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	blob, err := json.Marshal(h.Snapshot(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"count", "sum_ms", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "buckets"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("snapshot JSON lacks key %q", k)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(false); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}

@@ -1,0 +1,355 @@
+// Package server implements the long-lived MIO serving layer: an
+// HTTP API over one resident dataset and a pool of query engines,
+// with the machinery a production front-end needs wrapped around the
+// paper's pipeline:
+//
+//   - request coalescing (internal/server/flight): concurrent
+//     identical queries collapse into one engine run;
+//   - a bounded LRU result cache (internal/server/cache) keyed by the
+//     full query identity including the dataset epoch, so a dataset
+//     swap invalidates every stale entry;
+//   - admission control: engine runs are bounded by the engine pool
+//     (a channel semaphore); requests wait at most AdmissionWait for
+//     a slot and are rejected with 429 under overload, 503 while
+//     draining;
+//   - per-request deadlines wired through the engines' Context query
+//     variants;
+//   - /metrics counters and per-phase latency histograms built on
+//     core.PhaseStats.
+//
+// The request path is: parse → cache lookup → coalesce → admission →
+// engine run → cache fill. Every engine in the pool shares one
+// label store, so queries sharing ⌈r⌉ recycle label work (§III-D)
+// regardless of which engine serves them; sharing is safe because a
+// published label set is immutable and the store itself is
+// mutex-protected.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/server/cache"
+	"mio/internal/server/flight"
+	"mio/internal/server/metrics"
+)
+
+// Config tunes the serving machinery. The zero value selects sensible
+// defaults (see the field comments); explicit negatives disable the
+// optional behaviours.
+type Config struct {
+	// MaxInFlight bounds concurrent engine runs (and sizes the engine
+	// pool). Default 1: the paper's engine is single-query, so true
+	// run concurrency requires as many engines as slots.
+	MaxInFlight int
+	// AdmissionWait is how long a request may queue for an engine slot
+	// before being rejected with 429. 0 selects 100ms; negative
+	// rejects immediately when no slot is free.
+	AdmissionWait time.Duration
+	// QueryTimeout is the per-request engine deadline. 0 selects 30s;
+	// negative disables the deadline.
+	QueryTimeout time.Duration
+	// CacheSize is the result cache capacity in entries. 0 selects
+	// 256. Use DisableCache to turn caching off.
+	CacheSize int
+	// DisableCache bypasses the result cache entirely.
+	DisableCache bool
+	// DisableCoalesce bypasses single-flight request coalescing.
+	DisableCoalesce bool
+	// AllowSwap enables POST /v1/dataset (loading a new dataset from a
+	// server-local path). Off by default: the endpoint reads the
+	// server's filesystem, so it must be an explicit operator choice.
+	AllowSwap bool
+	// MaxSweep bounds the number of thresholds a single /v1/sweep may
+	// request. 0 selects 64.
+	MaxSweep int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 1
+	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = 100 * time.Millisecond
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 256
+	}
+	if c.MaxSweep < 1 {
+		c.MaxSweep = 64
+	}
+	return c
+}
+
+// errOverload marks an admission-control rejection (HTTP 429).
+var errOverload = errors.New("server: all engine slots busy")
+
+// Server is a long-lived MIO query server over one dataset.
+type Server struct {
+	cfg  Config
+	opts core.Options // engine template; Labels shared by the pool
+
+	// slots is both the engine pool and the admission semaphore: a
+	// request must receive an engine from the channel to run, and
+	// returns it afterwards.
+	slots chan *core.Engine
+
+	ds    atomic.Pointer[data.Dataset]
+	epoch atomic.Uint64
+
+	flight flight.Group
+	cache  *cache.Cache
+
+	// drainMu realises graceful drain: every request holds the read
+	// lock for its duration; Drain takes the write lock, which waits
+	// for in-flight requests, then flips draining so later requests
+	// are refused with 503.
+	drainMu  sync.RWMutex
+	draining bool
+
+	swapMu sync.Mutex // serialises dataset swaps
+
+	start time.Time
+	m     serverMetrics
+
+	// testRunBarrier, when set by tests, runs while an engine slot is
+	// held — it lets tests hold queries in flight deterministically.
+	testRunBarrier func()
+}
+
+// endpoints enumerated for per-endpoint metrics.
+var endpointKinds = []string{"query", "interacting", "scores", "sweep", "swap"}
+
+type serverMetrics struct {
+	requests map[string]*metrics.Counter
+	httpLat  map[string]*metrics.Histogram
+	phaseLat map[string]*metrics.Histogram
+
+	engineRuns    metrics.Counter
+	coalesced     metrics.Counter
+	rejected      metrics.Counter
+	badRequests   metrics.Counter
+	timeouts      metrics.Counter
+	drainRejected metrics.Counter
+	inFlight      metrics.Gauge
+}
+
+var phaseNames = []string{"label_input", "grid_mapping", "lower_bounding", "upper_bounding", "verification", "total"}
+
+// init builds the per-endpoint and per-phase maps in place (the
+// struct embeds atomics, so it must never be copied).
+func (m *serverMetrics) init() {
+	m.requests = make(map[string]*metrics.Counter)
+	m.httpLat = make(map[string]*metrics.Histogram)
+	m.phaseLat = make(map[string]*metrics.Histogram)
+	for _, k := range endpointKinds {
+		m.requests[k] = &metrics.Counter{}
+		m.httpLat[k] = metrics.NewHistogram(nil)
+	}
+	for _, p := range phaseNames {
+		m.phaseLat[p] = metrics.NewHistogram(nil)
+	}
+}
+
+// New builds a server over ds with a pool of cfg.MaxInFlight engines
+// configured from engOpts. When engOpts.Labels is non-nil the same
+// store is shared across the pool.
+func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	engines := make([]*core.Engine, 0, cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		e, err := core.NewEngine(ds, engOpts)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		engines = append(engines, e)
+	}
+	return newFromPool(ds, engOpts, engines, cfg), nil
+}
+
+// NewFromEngine wraps one existing engine — the embedding path behind
+// mio.Handler. The pool has exactly one slot regardless of
+// cfg.MaxInFlight, honouring the engine's single-query contract.
+func NewFromEngine(e *core.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cfg.MaxInFlight = 1
+	return newFromPool(e.Dataset(), e.Options(), []*core.Engine{e}, cfg)
+}
+
+func newFromPool(ds *data.Dataset, engOpts core.Options, engines []*core.Engine, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		opts:  engOpts,
+		slots: make(chan *core.Engine, len(engines)),
+		cache: cache.New(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.m.init()
+	for _, e := range engines {
+		s.slots <- e
+	}
+	s.ds.Store(ds)
+	return s
+}
+
+// Dataset returns the currently served dataset.
+func (s *Server) Dataset() *data.Dataset { return s.ds.Load() }
+
+// Epoch returns the dataset generation; it increments on every swap.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SwapDataset atomically replaces the served dataset: it builds a
+// fresh engine pool (with a fresh in-memory label store when labeling
+// is configured — labels are per-dataset and must not survive a
+// swap), waits for in-flight engine runs to finish, installs the new
+// engines, bumps the epoch and clears the result cache.
+func (s *Server) SwapDataset(ds *data.Dataset) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+
+	opts := s.opts
+	if opts.Labels != nil {
+		opts.Labels = labelstore.NewStore()
+	}
+	engines := make([]*core.Engine, 0, cap(s.slots))
+	for i := 0; i < cap(s.slots); i++ {
+		e, err := core.NewEngine(ds, opts)
+		if err != nil {
+			return fmt.Errorf("server: swap rejected: %w", err)
+		}
+		engines = append(engines, e)
+	}
+	// Drain the pool: receiving every slot waits for in-flight runs.
+	for i := 0; i < cap(s.slots); i++ {
+		<-s.slots
+	}
+	for _, e := range engines {
+		s.slots <- e
+	}
+	s.opts = opts
+	s.ds.Store(ds)
+	s.epoch.Add(1)
+	s.cache.Clear()
+	return nil
+}
+
+// Drain blocks until every in-flight request has completed, then
+// makes the server refuse new work with 503. /healthz and /metrics
+// keep responding so orchestrators can watch the drain.
+func (s *Server) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// acquire obtains an engine slot, queueing up to AdmissionWait.
+func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
+	select {
+	case eng := <-s.slots:
+		return eng, nil
+	default:
+	}
+	if s.cfg.AdmissionWait < 0 {
+		return nil, errOverload
+	}
+	timer := time.NewTimer(s.cfg.AdmissionWait)
+	defer timer.Stop()
+	select {
+	case eng := <-s.slots:
+		return eng, nil
+	case <-timer.C:
+		return nil, errOverload
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// withEngine runs fn holding an engine slot, with the per-request
+// deadline applied on top of the caller's context.
+func (s *Server) withEngine(ctx context.Context, fn func(context.Context, *core.Engine) (any, error)) (any, error) {
+	eng, err := s.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errOverload) {
+			s.m.rejected.Inc()
+		}
+		return nil, err
+	}
+	defer func() { s.slots <- eng }()
+	s.m.inFlight.Inc()
+	defer s.m.inFlight.Dec()
+	if s.testRunBarrier != nil {
+		s.testRunBarrier()
+	}
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	s.m.engineRuns.Inc()
+	return fn(ctx, eng)
+}
+
+// execute is the shared request path: cache lookup, then coalesced
+// execution of the leader function, then cache fill.
+func (s *Server) execute(key string, fn func() (any, error)) (val any, cached, coalesced bool, err error) {
+	if !s.cfg.DisableCache {
+		if v, ok := s.cache.Get(key); ok {
+			return v, true, false, nil
+		}
+	}
+	wrapped := func() (any, error) {
+		v, err := fn()
+		if err == nil && !s.cfg.DisableCache {
+			s.cache.Put(key, v)
+		}
+		return v, err
+	}
+	if s.cfg.DisableCoalesce {
+		v, err := wrapped()
+		return v, false, false, err
+	}
+	v, err, shared := s.flight.Do(key, wrapped)
+	if shared {
+		s.m.coalesced.Inc()
+	}
+	return v, false, shared, err
+}
+
+// observePhases feeds one query's PhaseStats into the per-phase
+// latency histograms.
+func (s *Server) observePhases(st core.PhaseStats) {
+	s.m.phaseLat["label_input"].Observe(st.LabelInput)
+	s.m.phaseLat["grid_mapping"].Observe(st.GridMapping)
+	s.m.phaseLat["lower_bounding"].Observe(st.LowerBounding)
+	s.m.phaseLat["upper_bounding"].Observe(st.UpperBounding)
+	s.m.phaseLat["verification"].Observe(st.Verification)
+	s.m.phaseLat["total"].Observe(st.Total())
+}
+
+// statusFor maps an execution error to its HTTP status.
+func (s *Server) statusFor(err error) int {
+	switch {
+	case errors.Is(err, errOverload):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written to a dead
+		// connection, but pick one that is honest in logs.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

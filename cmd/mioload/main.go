@@ -41,6 +41,7 @@ func main() {
 		k       = flag.Int("k", 1, "top-k per query")
 		seed    = flag.Int64("seed", 1, "workload RNG seed")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		retries = flag.Int("retries", 3, "max attempts per request; 429/503 responses are retried with backoff (1 disables)")
 		compare = flag.Bool("compare", false, "run the self-contained A/B benchmark instead")
 		scale   = flag.Float64("scale", 0.25, "dataset size multiplier for -compare")
 		workers = flag.Int("workers", 1, "engine workers per query for -compare")
@@ -61,6 +62,7 @@ func main() {
 		K:           *k,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		MaxAttempts: *retries,
 	}
 
 	if *compare {

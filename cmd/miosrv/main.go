@@ -9,6 +9,7 @@
 //	miosrv -data birds.bin -addr :8080 -inflight 4
 //	miosrv -gen syn -scale 0.5            # serve a generated dataset
 //	miosrv -data d.bin -no-cache -no-coalesce  # measure the raw engine
+//	miosrv -gen syn -faults 'seed=42;engine.verification=panic:0.01'  # chaos mode
 //
 // Endpoints: GET /v1/query?r=&k=, /v1/interacting?r=&obj=,
 // /v1/scores?r=, /v1/sweep?rs=&k=, /healthz, /metrics; POST
@@ -30,6 +31,7 @@ import (
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
+	"mio/internal/fault"
 	"mio/internal/server"
 )
 
@@ -51,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request engine deadline (0 disables)")
 		admWait  = flag.Duration("admission-wait", 100*time.Millisecond, "max time a request queues for an engine slot")
 		swap     = flag.Bool("allow-swap", false, "enable POST /v1/dataset (reads server-local paths)")
+		faults   = flag.String("faults", "", "arm fault injection for chaos testing, e.g. 'seed=42;engine.verification=panic:0.01;server.run=latency:0.1:5ms'")
 	)
 	flag.Parse()
 
@@ -79,6 +82,14 @@ func main() {
 		DisableCache:    *noCache,
 		DisableCoalesce: *noCoal,
 		AllowSwap:       *swap,
+	}
+	if *faults != "" {
+		reg, err := fault.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = reg
+		fmt.Fprintf(os.Stderr, "miosrv: FAULT INJECTION ARMED: %s\n", reg)
 	}
 	srv, err := server.New(ds, opts, cfg)
 	if err != nil {

@@ -31,15 +31,24 @@ func (q *query) lowerBounding() int {
 		q.lbBits = make([]*bitmap.Compressed, q.n)
 	}
 	if q.e.opts.workers() > 1 {
+		// The parallel strategies have no early-out: once entered, every
+		// object's bound is computed.
 		q.parallelLowerBounding()
+		q.lbDone = true
 	} else {
+		complete := true
 		scratch := bitmap.NewScratch(q.n)
 		for i := 0; i < q.n; i++ {
 			if i&1023 == 0 && q.cancelled() {
+				complete = false
 				break
 			}
 			q.lowerBoundObject(i, scratch)
 		}
+		// A partial tauLow (zeros past the break) is still a sound
+		// per-object lower bound, but only a complete pass certifies
+		// the degraded answer's "best candidate" choice.
+		q.lbDone = complete
 	}
 	return q.kthHighest(q.tauLow)
 }
@@ -97,15 +106,21 @@ func (q *query) upperBounding(threshold int) []candidate {
 	q.tauUpp = make([]int32, q.n)
 	if q.e.opts.workers() > 1 {
 		q.parallelUpperBounding()
+		q.ubDone = true
 	} else {
+		complete := true
 		scratch := bitmap.NewScratch(q.n)
 		ctr := ctrSet{}
 		for i := 0; i < q.n; i++ {
 			if i&1023 == 0 && q.cancelled() {
+				complete = false
 				break
 			}
 			q.upperBoundObject(i, scratch, &ctr)
 		}
+		// Unlike tauLow, a partial tauUpp is NOT sound (zeros are not
+		// upper bounds), so the degraded path must know it is unusable.
+		q.ubDone = complete
 		q.addCounters([]ctrSet{ctr})
 	}
 	cand := make([]candidate, 0, q.n/4+1)

@@ -16,6 +16,7 @@ import (
 
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
+	"mio/internal/fault"
 )
 
 // LBStrategy selects the parallel lower-bounding partitioning of §IV.
@@ -76,6 +77,12 @@ type Options struct {
 	// store is configured (useful to measure the plain algorithm).
 	// Default true when Labels is set.
 	DisableCollect bool
+	// Faults, when non-nil, is consulted at the entry of every pipeline
+	// phase (the internal/fault points "engine.label_input" through
+	// "engine.verification") so chaos tests can inject latency spikes,
+	// errors and panics into a running engine. Nil costs one pointer
+	// check per phase.
+	Faults *fault.Registry
 }
 
 func (o Options) dims() int {
@@ -134,14 +141,31 @@ func (s PhaseStats) Total() time.Duration {
 	return s.LabelInput + s.GridMapping + s.LowerBounding + s.UpperBounding + s.Verification
 }
 
+// Interval is a closed score interval [LB, UB] certified by the
+// pipeline's bound bookkeeping: the true score of the object it
+// annotates is guaranteed to lie inside it (Lemmas 1 and 2).
+type Interval struct {
+	LB int `json:"lb"`
+	UB int `json:"ub"`
+}
+
 // Result is the answer to an MIO query.
 type Result struct {
 	// Best is the most interactive object and its score. For k > 1 it
-	// is TopK[0].
+	// is TopK[0]. On a degraded result Best.Score is the certified
+	// lower bound Interval.LB, not the exact score.
 	Best Scored `json:"best"`
-	// TopK holds the k best objects in non-increasing score order.
+	// TopK holds the k best objects in non-increasing score order. A
+	// degraded result carries only the single best candidate.
 	TopK  []Scored   `json:"top_k"`
 	Stats PhaseStats `json:"stats"`
+
+	// Degraded marks a partial answer produced because the context
+	// deadline expired mid-pipeline (RunTopKDegradedContext): Best is
+	// the most promising candidate by certified lower bound, and
+	// Interval brackets its exact score.
+	Degraded bool      `json:"degraded,omitempty"`
+	Interval *Interval `json:"interval,omitempty"`
 }
 
 // Engine processes MIO queries over one static, memory-resident
@@ -191,6 +215,21 @@ func (e *Engine) RunContext(ctx context.Context, r float64) (*Result, error) {
 
 // RunTopKContext is RunTopK with cancellation.
 func (e *Engine) RunTopKContext(ctx context.Context, r float64, k int) (*Result, error) {
+	return e.runTopK(ctx, r, k, false)
+}
+
+// RunTopKDegradedContext is RunTopKContext with deadline degradation:
+// when ctx expires after the lower-bounding phase has completed, the
+// work already done is not discarded — instead of ctx.Err() the call
+// returns a Result with Degraded set, holding the best candidate by
+// certified lower bound and the [LB, UB] interval that provably
+// contains its exact score. Expiry before lower bounding completes
+// still returns ctx.Err(): no sound bound exists yet.
+func (e *Engine) RunTopKDegradedContext(ctx context.Context, r float64, k int) (*Result, error) {
+	return e.runTopK(ctx, r, k, true)
+}
+
+func (e *Engine) runTopK(ctx context.Context, r float64, k int, degrade bool) (*Result, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
 	}
@@ -202,6 +241,7 @@ func (e *Engine) RunTopKContext(ctx context.Context, r float64, k int) (*Result,
 	}
 	q := newQuery(e, r, k)
 	q.ctx = ctx
+	q.degradeOK = degrade
 	return q.run()
 }
 

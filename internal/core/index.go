@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"mio/internal/bitmap"
 	"mio/internal/core/labelstore"
+	"mio/internal/fault"
 	"mio/internal/grid"
 )
 
@@ -79,7 +81,26 @@ type query struct {
 	// ctx carries the caller's cancellation; nil means background.
 	ctx context.Context
 
+	// Degraded-answer bookkeeping (RunTopKDegradedContext). degradeOK
+	// opts in; the completion flags record which phases ran to the end
+	// (an early cancellation break leaves them false, so partial bound
+	// vectors are never certified); trunc captures a verification
+	// candidate whose exact-score loop was cut short mid-object.
+	degradeOK bool
+	gmBroke   atomic.Bool // written by parallel grid-mapping workers
+	lbDone    bool
+	ubDone    bool
+	trunc     *truncCand
+
 	stats PhaseStats
+}
+
+// truncCand is a candidate whose verification was interrupted: the
+// partially accumulated bitset certifies lb, upper-bounding certifies
+// ub.
+type truncCand struct {
+	obj    int
+	lb, ub int
 }
 
 func newQuery(e *Engine, r float64, k int) *query {
@@ -109,10 +130,19 @@ func (q *query) cancelled() bool {
 	}
 }
 
+// fire triggers the named fault-injection point when a registry is
+// configured; a nil registry is one pointer check.
+func (q *query) fire(point string) error {
+	return q.e.opts.Faults.Fire(point)
+}
+
 // run executes the framework of Algorithm 2.
 func (q *query) run() (*Result, error) {
 	// Label input (§III-D): O(1) existence check, then the O(nm/B)
 	// load, both timed as the paper's "Label-Input" row.
+	if err := q.fire(fault.PointLabelInput); err != nil {
+		return nil, err
+	}
 	if store := q.e.opts.Labels; store != nil {
 		t0 := time.Now()
 		if l, ok := store.Get(q.ceilR()); ok {
@@ -129,41 +159,51 @@ func (q *query) run() (*Result, error) {
 		q.stats.LabelInput = time.Since(t0)
 	}
 
+	if err := q.fire(fault.PointGridMapping); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	q.gridMapping()
 	q.stats.GridMapping = time.Since(t0)
 	q.stats.SmallCells = q.idx.small.Len()
 	q.stats.LargeCells = q.idx.large.Len()
 	if q.cancelled() {
+		// No bound vector exists yet, so no degradation is possible.
 		return nil, q.ctx.Err()
 	}
 
+	if err := q.fire(fault.PointLowerBounding); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	threshold := q.lowerBounding()
 	q.stats.LowerBounding = time.Since(t0)
 	if q.cancelled() {
-		return nil, q.ctx.Err()
+		return q.degraded(nil)
 	}
 
+	if err := q.fire(fault.PointUpperBounding); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	cand := q.upperBounding(threshold)
 	q.stats.UpperBounding = time.Since(t0)
 	q.stats.Candidates = len(cand)
 	if q.cancelled() {
-		return nil, q.ctx.Err()
+		return q.degraded(nil)
 	}
 
+	if err := q.fire(fault.PointVerification); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	topk := q.verification(cand)
 	q.stats.Verification = time.Since(t0)
 	if q.cancelled() {
-		return nil, q.ctx.Err()
+		return q.degraded(topk)
 	}
 
-	q.stats.IndexBytes = q.idx.sizeBytes()
-	q.stats.SmallGridBytes = q.idx.small.SizeBytes()
-	q.stats.SmallGridUncompressedBytes = q.idx.small.UncompressedSizeBytes(q.n)
-	q.stats.LargeGridBytes = q.idx.large.SizeBytes()
+	q.finishGridStats()
 
 	// Post-processing: publish collected labels (§III-D "labels are
 	// outputted in post-processing").
@@ -178,6 +218,15 @@ func (q *query) run() (*Result, error) {
 		res.Best = topk[0]
 	}
 	return res, nil
+}
+
+// finishGridStats records the index-footprint numbers; split out so
+// the degraded path can report them too once the grid exists.
+func (q *query) finishGridStats() {
+	q.stats.IndexBytes = q.idx.sizeBytes()
+	q.stats.SmallGridBytes = q.idx.small.SizeBytes()
+	q.stats.SmallGridUncompressedBytes = q.idx.small.UncompressedSizeBytes(q.n)
+	q.stats.LargeGridBytes = q.idx.large.SizeBytes()
 }
 
 // skipPoint reports whether loaded labels prune point pt of object obj
@@ -214,8 +263,11 @@ func (q *query) buildRange(lo, hi int) *bigrid {
 	for i := lo; i < hi; i++ {
 		// Grid mapping is the first long phase; poll so a query abandoned
 		// during index construction returns promptly. The truncated grid
-		// is discarded by run()'s post-phase ctx check.
+		// is discarded by run()'s post-phase ctx check; gmBroke records
+		// the truncation so a degraded answer is never certified from a
+		// partial grid.
 		if i&127 == 127 && q.cancelled() {
+			q.gmBroke.Store(true)
 			break
 		}
 		obj := &q.e.ds.Objects[i]

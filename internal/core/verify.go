@@ -41,6 +41,19 @@ func (q *query) verification(cand []candidate) []Scored {
 		} else {
 			tau = q.exactScore(i, bOi, mask, neigh[:0], &ctr)
 		}
+		if q.cancelled() {
+			// The exact-score loop may have been cut short, so tau is
+			// only a lower bound (bOi accumulates monotonically); it must
+			// not enter the top-k as an exact score. Keep it for the
+			// degraded answer instead, bracketed by the candidate's upper
+			// bound.
+			lb := tau
+			if int(q.tauLow[i]) > lb {
+				lb = int(q.tauLow[i])
+			}
+			q.trunc = &truncCand{obj: i, lb: lb, ub: int(c.tauUpp)}
+			break
+		}
 		q.stats.Verified++
 		top = insertTopK(top, Scored{Obj: i, Score: tau}, q.k)
 	}
@@ -64,8 +77,9 @@ func (q *query) exactScore(i int, bOi, mask *bitmap.Scratch, neigh []grid.Key, c
 		// Point-heavy objects (Neuron has thousands of points each) make
 		// a single exact score long enough that the per-candidate check
 		// in verification() is not prompt; poll inside the loop too. A
-		// cancelled run returns a truncated (wrong) score, which is fine:
-		// every caller discards the result once ctx.Err() is observed.
+		// cancelled run returns a truncated score, which is still a valid
+		// lower bound (bOi only grows); verification() records it as such
+		// and never reports it as exact.
 		if j&255 == 255 && q.cancelled() {
 			break
 		}

@@ -72,7 +72,7 @@ func ReadText(r io.Reader) (*Dataset, error) {
 		var v [4]float64
 		for fi := 1; fi < len(fields); fi++ {
 			v[fi-1], err = strconv.ParseFloat(fields[fi], 64)
-			if err != nil {
+			if err != nil || !finite(v[fi-1]) {
 				return nil, fmt.Errorf("data: line %d: bad number %q", lineNo, fields[fi])
 			}
 		}
@@ -113,6 +113,12 @@ func ReadText(r io.Reader) (*Dataset, error) {
 }
 
 const binMagic = uint64(0x4d494f4441544131) // "MIODATA1"
+
+// finite rejects NaN and ±Inf while decoding untrusted input: a
+// non-finite coordinate would silently corrupt grid mapping (the
+// float→int cell conversion is implementation-defined for NaN), so
+// corrupt files fail at the boundary instead.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // WriteBinary writes ds in the binary format.
 func WriteBinary(w io.Writer, ds *Dataset) error {
@@ -156,13 +162,37 @@ func WriteBinary(w io.Writer, ds *Dataset) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format.
+// allocClamp bounds speculative slice pre-allocation while decoding
+// untrusted input: claimed lengths above it start small and grow by
+// append, so a lying header costs reads, not memory.
+const allocClamp = 1 << 16
+
+// ReadBinary parses the binary format. Counts in the header are
+// validated, and — when r is seekable, as files are — checked against
+// the bytes actually remaining, so a corrupt or truncated file is
+// rejected up front instead of triggering huge allocations or a long
+// doomed decode.
 func ReadBinary(r io.Reader) (*Dataset, error) {
+	// left is the number of input bytes not yet consumed, or -1 when
+	// the source cannot reveal its size.
+	left := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				if _, err := s.Seek(cur, io.SeekStart); err == nil {
+					left = end - cur
+				}
+			}
+		}
+	}
 	br := bufio.NewReader(r)
 	var u [8]byte
 	get := func() (uint64, error) {
 		if _, err := io.ReadFull(br, u[:]); err != nil {
 			return 0, err
+		}
+		if left >= 0 {
+			left -= 8
 		}
 		return binary.LittleEndian.Uint64(u[:]), nil
 	}
@@ -177,21 +207,27 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("data: %w", err)
 	}
-	if nameLen > 1<<20 {
-		return nil, errors.New("data: implausible name length")
+	if nameLen > 1<<20 || (left >= 0 && nameLen > uint64(left)) {
+		return nil, fmt.Errorf("data: name length %d exceeds input", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("data: %w", err)
 	}
+	if left >= 0 {
+		left -= int64(nameLen)
+	}
 	n, err := get()
 	if err != nil {
 		return nil, fmt.Errorf("data: %w", err)
 	}
-	if n > 1<<32 {
-		return nil, errors.New("data: implausible object count")
+	// Every object costs at least 16 header bytes, so a sized input
+	// bounds n exactly; otherwise fall back to a sanity cap.
+	if n > 1<<32 || (left >= 0 && n > uint64(left/16)) {
+		return nil, fmt.Errorf("data: object count %d exceeds input", n)
 	}
-	ds := &Dataset{Name: string(name)}
+	objCap := min(n, allocClamp)
+	ds := &Dataset{Name: string(name), Objects: make([]Object, 0, objCap)}
 	for i := 0; i < int(n); i++ {
 		m, err := get()
 		if err != nil {
@@ -201,9 +237,20 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("data: object %d: %w", i, err)
 		}
-		o := Object{ID: i, Pts: make([]geom.Point, 0, m)}
+		if hasTimes > 1 {
+			return nil, fmt.Errorf("data: object %d: hasTimes flag is %d, want 0 or 1", i, hasTimes)
+		}
+		ptBytes := int64(24)
 		if hasTimes == 1 {
-			o.Times = make([]float64, 0, m)
+			ptBytes = 32
+		}
+		if left >= 0 && m > uint64(left/ptBytes) {
+			return nil, fmt.Errorf("data: object %d: point count %d exceeds remaining input", i, m)
+		}
+		ptCap := min(m, allocClamp)
+		o := Object{ID: i, Pts: make([]geom.Point, 0, ptCap)}
+		if hasTimes == 1 {
+			o.Times = make([]float64, 0, ptCap)
 		}
 		for j := 0; j < int(m); j++ {
 			var c [4]float64
@@ -217,6 +264,9 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 					return nil, fmt.Errorf("data: object %d point %d: %w", i, j, err)
 				}
 				c[fi] = math.Float64frombits(v)
+				if !finite(c[fi]) {
+					return nil, fmt.Errorf("data: object %d point %d: non-finite value", i, j)
+				}
 			}
 			o.Pts = append(o.Pts, geom.Pt(c[0], c[1], c[2]))
 			if hasTimes == 1 {

@@ -1,0 +1,124 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// noSeek hides the Seeker interface of the underlying reader, forcing
+// ReadBinary onto its unsized (allocation-clamped) path.
+type noSeek struct{ r io.Reader }
+
+func (n noSeek) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+// binHeader builds the start of a binary dataset file: magic, name
+// length, name, object count.
+func binHeader(name string, n uint64) []byte {
+	var buf bytes.Buffer
+	var u [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u[:], v)
+		buf.Write(u[:])
+	}
+	put(binMagic)
+	put(uint64(len(name)))
+	buf.WriteString(name)
+	put(n)
+	return buf.Bytes()
+}
+
+// TestReadBinaryRejectsLyingHeaders feeds small files whose headers
+// claim enormous payloads. Every one must be rejected — on the sized
+// path up front, on the unsized path without large allocations — and
+// never make the decoder trust a count the input cannot back.
+func TestReadBinaryRejectsLyingHeaders(t *testing.T) {
+	var u8 [8]byte
+	le := func(v uint64) []byte {
+		binary.LittleEndian.PutUint64(u8[:], v)
+		return append([]byte(nil), u8[:]...)
+	}
+	cases := map[string][]byte{
+		// 40-byte file claiming 2^40 objects.
+		"huge object count": binHeader("x", 1<<40),
+		// One object claiming 2^40 points.
+		"huge point count": append(binHeader("x", 1),
+			append(le(1<<40), le(0)...)...),
+		// Name longer than the entire file.
+		"name beyond input": append(append(le(binMagic), le(1<<19)...), 'x'),
+		// hasTimes must be 0 or 1.
+		"bad hasTimes flag": append(binHeader("x", 1),
+			append(le(0), le(7)...)...),
+		// Claimed timestamped points at 32 bytes each don't fit.
+		"temporal overflow": append(binHeader("x", 1),
+			append(le(1<<30), le(1)...)...),
+	}
+	for label, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: sized read accepted corrupt input", label)
+		}
+		if _, err := ReadBinary(noSeek{bytes.NewReader(in)}); err == nil {
+			t.Errorf("%s: unsized read accepted corrupt input", label)
+		}
+	}
+}
+
+// TestReadBinaryUnsizedMatchesSized round-trips a real dataset through
+// both paths.
+func TestReadBinaryUnsizedMatchesSized(t *testing.T) {
+	ds := WithTimestamps(GenUniform(UniformConfig{N: 12, M: 5, FieldSize: 50, Spread: 4, Seed: 5}), 1, 9, 3)
+	ds.Name = "both-paths"
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	sized, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsized, err := ReadBinary(noSeek{bytes.NewReader(buf.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sized, unsized) {
+		t.Fatal("sized and unsized decodes disagree")
+	}
+}
+
+// FuzzReadBinary drives arbitrary bytes through both decode paths. The
+// properties: no panic, the sized and unsized paths agree on
+// accept/reject, and anything accepted is a valid dataset that both
+// paths decode identically.
+func FuzzReadBinary(f *testing.F) {
+	ds := WithTimestamps(GenUniform(UniformConfig{N: 4, M: 3, FieldSize: 20, Spread: 2, Seed: 7}), 1, 5, 2)
+	ds.Name = "seed"
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7])
+	f.Add(valid[:17])
+	f.Add(binHeader("x", 1<<40))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		sized, errSized := ReadBinary(bytes.NewReader(in))
+		unsized, errUnsized := ReadBinary(noSeek{bytes.NewReader(in)})
+		if (errSized == nil) != (errUnsized == nil) {
+			t.Fatalf("paths disagree: sized err=%v, unsized err=%v", errSized, errUnsized)
+		}
+		if errSized != nil {
+			return
+		}
+		if err := sized.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		if !reflect.DeepEqual(sized, unsized) {
+			t.Fatal("sized and unsized decodes disagree")
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package fault is a deterministic, seed-driven fault-injection
+// registry for chaos-testing the MIO serving stack. Code under test
+// declares named injection points — fixed strings like
+// "engine.verification" or "swap.load" — and calls Registry.Fire at
+// each one; a registry armed with rules makes some of those calls
+// misbehave: sleep (a latency spike), return an error, or panic, each
+// with a configured probability drawn from a seeded PRNG.
+//
+// The registry is nil-safe and effectively free when disarmed: Fire on
+// a nil or rule-less registry is a pointer check plus one atomic load,
+// so injection points can stay compiled into production paths.
+// Determinism: a given seed yields the same accept/reject sequence for
+// a given sequence of Fire calls. Concurrent callers serialise on an
+// internal mutex, so cross-goroutine interleaving (not the per-call
+// draws) is the only source of run-to-run variation.
+//
+// Rules are configured programmatically (Arm) or parsed from the
+// cmd/miosrv -faults flag syntax (Parse):
+//
+//	seed=42;engine.verification=panic:0.01;swap.load=error:0.5;server.run=latency:0.1:5ms
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical injection points of the miosrv stack. The string is the
+// registry key, so flags, tests and metrics all name the same spots;
+// packages fire them via these constants, never literals.
+const (
+	// PointRequest fires at the top of every /v1 request.
+	PointRequest = "server.request"
+	// PointAcquire fires while a request acquires an engine slot.
+	PointAcquire = "server.acquire"
+	// PointRun fires while an engine slot is held, before the run.
+	PointRun = "server.run"
+	// PointSwapLoad fires before a dataset swap reads the file.
+	PointSwapLoad = "swap.load"
+	// PointSwapBuild fires before a swap builds its engine pool.
+	PointSwapBuild = "swap.build"
+	// PointLabelInput .. PointVerification fire at the entry of the
+	// corresponding §III/§IV pipeline phase inside the engine.
+	PointLabelInput    = "engine.label_input"
+	PointGridMapping   = "engine.grid_mapping"
+	PointLowerBounding = "engine.lower_bounding"
+	PointUpperBounding = "engine.upper_bounding"
+	PointVerification  = "engine.verification"
+)
+
+// Kind is the misbehaviour a rule injects.
+type Kind uint8
+
+const (
+	// KindLatency sleeps for the rule's Delay.
+	KindLatency Kind = iota
+	// KindError makes Fire return an error wrapping ErrInjected.
+	KindError
+	// KindPanic panics with a Panic value naming the point.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers and tests can tell injected failures from organic ones with
+// errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Panic is the value a KindPanic rule panics with; recovery layers can
+// type-assert it to distinguish injected panics from real bugs.
+type Panic struct{ Point string }
+
+func (p Panic) String() string { return "fault: injected panic at " + p.Point }
+
+// Rule arms one injection point with one misbehaviour.
+type Rule struct {
+	// Point is the injection-point name the rule applies to.
+	Point string
+	// Kind selects the misbehaviour.
+	Kind Kind
+	// P is the per-Fire firing probability in [0, 1].
+	P float64
+	// Delay is the sleep for KindLatency rules.
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s=%s:%g", r.Point, r.Kind, r.P)
+	if r.Kind == KindLatency {
+		s += ":" + r.Delay.String()
+	}
+	return s
+}
+
+// Registry holds the armed rules and the seeded PRNG. The zero value
+// and nil are both valid, permanently-disarmed registries.
+type Registry struct {
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string][]Rule
+	fired map[string]uint64
+}
+
+// New returns a registry whose probability draws derive from seed.
+func New(seed int64) *Registry {
+	return &Registry{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string][]Rule),
+		fired: make(map[string]uint64),
+	}
+}
+
+// Arm adds a rule. Multiple rules may share a point; each draws
+// independently on every Fire.
+func (r *Registry) Arm(rule Rule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules[rule.Point] = append(r.rules[rule.Point], rule)
+	r.armed.Store(true)
+}
+
+// Clear removes every rule armed at point, leaving its fired count.
+func (r *Registry) Clear(point string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.rules, point)
+	r.armed.Store(len(r.rules) > 0)
+}
+
+// Fire consults the rules for point. It may sleep (latency rule),
+// return a non-nil error (error rule) or panic with a Panic value
+// (panic rule); usually it does nothing and returns nil. Safe on a nil
+// registry.
+func (r *Registry) Fire(point string) error {
+	if r == nil || !r.armed.Load() {
+		return nil
+	}
+	var sleep time.Duration
+	var err error
+	r.mu.Lock()
+	for _, rule := range r.rules[point] {
+		if r.rng.Float64() >= rule.P {
+			continue
+		}
+		r.fired[point]++
+		switch rule.Kind {
+		case KindLatency:
+			sleep += rule.Delay
+		case KindError:
+			err = fmt.Errorf("%w at %s", ErrInjected, point)
+		case KindPanic:
+			r.mu.Unlock()
+			panic(Panic{Point: point})
+		}
+	}
+	r.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return err
+}
+
+// Fired returns how many times rules at point have fired.
+func (r *Registry) Fired(point string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired[point]
+}
+
+// Counts returns a copy of the per-point fired counters.
+func (r *Registry) Counts() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.fired))
+	for k, v := range r.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// String lists the armed rules in point order.
+func (r *Registry) String() string {
+	if r == nil {
+		return "<disarmed>"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	points := make([]string, 0, len(r.rules))
+	for p := range r.rules {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	var parts []string
+	for _, p := range points {
+		for _, rule := range r.rules[p] {
+			parts = append(parts, rule.String())
+		}
+	}
+	if len(parts) == 0 {
+		return "<disarmed>"
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a registry from the -faults flag syntax: clauses
+// separated by ';', each either "seed=<int>" or
+// "<point>=<kind>:<probability>[:<duration>]" with kind one of
+// latency, error, panic. The duration is mandatory for latency rules
+// and rejected for the others.
+func Parse(spec string) (*Registry, error) {
+	seed := int64(1)
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q: want point=kind:prob[:duration] or seed=N", clause)
+		}
+		if key == "seed" {
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", val)
+			}
+			seed = s
+			continue
+		}
+		rule, err := parseRule(key, val)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: spec %q arms no rules", spec)
+	}
+	reg := New(seed)
+	for _, r := range rules {
+		reg.Arm(r)
+	}
+	return reg, nil
+}
+
+func parseRule(point, val string) (Rule, error) {
+	parts := strings.Split(val, ":")
+	if len(parts) < 2 {
+		return Rule{}, fmt.Errorf("fault: %s=%s: want kind:prob[:duration]", point, val)
+	}
+	rule := Rule{Point: point}
+	switch parts[0] {
+	case "latency":
+		rule.Kind = KindLatency
+	case "error":
+		rule.Kind = KindError
+	case "panic":
+		rule.Kind = KindPanic
+	default:
+		return Rule{}, fmt.Errorf("fault: %s: unknown kind %q (want latency, error or panic)", point, parts[0])
+	}
+	p, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || p < 0 || p > 1 {
+		return Rule{}, fmt.Errorf("fault: %s: probability %q not in [0, 1]", point, parts[1])
+	}
+	rule.P = p
+	switch {
+	case rule.Kind == KindLatency:
+		if len(parts) != 3 {
+			return Rule{}, fmt.Errorf("fault: %s: latency rules need a duration, e.g. latency:%g:5ms", point, p)
+		}
+		d, err := time.ParseDuration(parts[2])
+		if err != nil || d <= 0 {
+			return Rule{}, fmt.Errorf("fault: %s: bad latency duration %q", point, parts[2])
+		}
+		rule.Delay = d
+	case len(parts) != 2:
+		return Rule{}, fmt.Errorf("fault: %s: only latency rules take a duration", point)
+	}
+	return rule, nil
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilAndDisarmedAreFree(t *testing.T) {
+	var nilReg *Registry
+	if err := nilReg.Fire("x"); err != nil {
+		t.Fatalf("nil registry Fire = %v, want nil", err)
+	}
+	if got := nilReg.Fired("x"); got != 0 {
+		t.Fatalf("nil registry Fired = %d", got)
+	}
+	empty := New(1)
+	if err := empty.Fire("x"); err != nil {
+		t.Fatalf("disarmed registry Fire = %v, want nil", err)
+	}
+	var zero Registry
+	if err := zero.Fire("x"); err != nil {
+		t.Fatalf("zero registry Fire = %v, want nil", err)
+	}
+}
+
+func TestErrorRuleFiresWithSeededProbability(t *testing.T) {
+	reg := New(7)
+	reg.Arm(Rule{Point: "p", Kind: KindError, P: 0.5})
+	errs := 0
+	for i := 0; i < 1000; i++ {
+		if err := reg.Fire("p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			errs++
+		}
+	}
+	if errs < 400 || errs > 600 {
+		t.Fatalf("p=0.5 rule fired %d/1000 times", errs)
+	}
+	if got := reg.Fired("p"); got != uint64(errs) {
+		t.Fatalf("Fired = %d, want %d", got, errs)
+	}
+	// Points without rules stay silent.
+	if err := reg.Fire("other"); err != nil {
+		t.Fatalf("rule-less point fired: %v", err)
+	}
+}
+
+func TestDeterministicAcrossRegistries(t *testing.T) {
+	seq := func() []bool {
+		reg := New(42)
+		reg.Arm(Rule{Point: "p", Kind: KindError, P: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = reg.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between same-seed registries", i)
+		}
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	reg := New(1)
+	reg.Arm(Rule{Point: "p", Kind: KindPanic, P: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("P=1 panic rule did not panic")
+		}
+		pv, ok := r.(Panic)
+		if !ok || pv.Point != "p" {
+			t.Fatalf("panic value = %#v, want fault.Panic{Point: \"p\"}", r)
+		}
+	}()
+	_ = reg.Fire("p")
+}
+
+func TestLatencyRuleSleeps(t *testing.T) {
+	reg := New(1)
+	reg.Arm(Rule{Point: "p", Kind: KindLatency, P: 1, Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	if err := reg.Fire("p"); err != nil {
+		t.Fatalf("latency rule returned error %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	reg := New(1)
+	reg.Arm(Rule{Point: "p", Kind: KindError, P: 1})
+	if err := reg.Fire("p"); err == nil {
+		t.Fatal("armed P=1 rule did not fire")
+	}
+	reg.Clear("p")
+	if err := reg.Fire("p"); err != nil {
+		t.Fatalf("cleared point still fires: %v", err)
+	}
+	if reg.armed.Load() {
+		t.Fatal("registry still armed after clearing its only point")
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	reg := New(3)
+	reg.Arm(Rule{Point: "p", Kind: KindError, P: 0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = reg.Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	counts := reg.Counts()
+	if counts["p"] == 0 || counts["p"] > 1600 {
+		t.Fatalf("fired count %d out of range", counts["p"])
+	}
+}
+
+func TestParse(t *testing.T) {
+	reg, err := Parse("seed=9; engine.verification=panic:0.01 ;swap.load=error:0.5;server.run=latency:1:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "engine.verification=panic:0.01;server.run=latency:1:5ms;swap.load=error:0.5"
+	if got := reg.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// The latency rule at P=1 must fire.
+	t0 := time.Now()
+	if err := reg.Fire(PointRun); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Fatal("parsed latency rule did not sleep")
+	}
+
+	for _, bad := range []string{
+		"",
+		"nonsense",
+		"p=latency:0.5",      // latency without duration
+		"p=error:0.5:5ms",    // duration on a non-latency rule
+		"p=explode:0.5",      // unknown kind
+		"p=error:1.5",        // probability out of range
+		"seed=x;p=error:0.5", // bad seed
+		"seed=3",             // no rules
+		"p=panic",            // missing probability
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+}

@@ -79,6 +79,7 @@ func DefaultAnalyzers() []*Analyzer {
 		GoHygieneAnalyzer(),
 		ErrCheckAnalyzer(nil),
 		OptionsAnalyzer(nil),
+		RecoverAnalyzer(),
 	}
 }
 

@@ -32,6 +32,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"gohygiene", "gohygiene.go", "fix/gohygiene", GoHygieneAnalyzer()},
 		{"errcheck", "errcheck.go", "fix/cmd/app", ErrCheckAnalyzer(nil)},
 		{"options", "options.go", "fix/examples/app", OptionsAnalyzer(nil)},
+		{"recover", "recover.go", "fix/recover", RecoverAnalyzer()},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,73 @@
+// Fixture for the recover analyzer.
+package fixture
+
+import "fmt"
+
+func cleanup() {}
+
+func swallowBare() {
+	defer func() {
+		recover() // want "swallows the panic"
+	}()
+}
+
+func swallowBlank() {
+	defer func() {
+		_ = recover() // want "swallows the panic"
+	}()
+}
+
+// A panic in the outer function does not excuse the deferred closure:
+// the recovered value still dies inside it.
+func outerPanicDoesNotExcuse() {
+	defer func() {
+		recover() // want "swallows the panic"
+	}()
+	panic("raised in the outer scope")
+}
+
+// Re-panicking after cleanup passes the value on: fine.
+func repanics() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cleanup()
+			panic(rec)
+		}
+	}()
+}
+
+// Converting the panic into an error records it: fine.
+func records() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("caught: %v", rec)
+		}
+	}()
+	return nil
+}
+
+// Inspecting the result in a condition uses it: fine.
+func inspects() bool {
+	caught := false
+	defer func() {
+		if recover() != nil {
+			caught = true
+		}
+	}()
+	return caught
+}
+
+// Discarding the old value but raising a fresh panic keeps control
+// flow visibly failing: allowed.
+func replacesPanic() {
+	defer func() {
+		_ = recover()
+		panic("translated failure")
+	}()
+}
+
+// A shadowing declaration is not the builtin.
+func shadowed() {
+	recover := func() any { return nil }
+	recover()
+}

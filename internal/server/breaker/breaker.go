@@ -1,0 +1,150 @@
+// Package breaker implements a small circuit breaker for the dataset
+// swap path: repeated load/build failures trip it open so subsequent
+// swap requests fail fast (HTTP 503 + Retry-After upstream) instead of
+// re-reading a broken file on every attempt; after a cooldown a single
+// probe is admitted, and its outcome decides between closing the
+// breaker and re-opening it for another cooldown.
+//
+// The breaker is deliberately minimal: consecutive-failure threshold,
+// fixed cooldown, one probe in half-open. The clock is injectable so
+// tests drive state transitions without sleeping. A nil *Breaker is
+// valid and permanently closed (always allows, ignores outcomes).
+package breaker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the breaker's position.
+type State int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: requests are refused until the cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; exactly one probe is in flight
+	// and everything else is refused until its outcome is reported.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Breaker is a consecutive-failure circuit breaker. Use New; the zero
+// value has a zero threshold and trips on the first failure.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+}
+
+// New returns a closed breaker that opens after threshold consecutive
+// failures and admits a probe after each cooldown. threshold < 1 is
+// treated as 1.
+func New(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// WithClock replaces the breaker's clock and returns it; for tests.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+// Allow reports whether a request may proceed. When it may not, retry
+// is how long until the breaker will next admit a probe (0 when a
+// half-open probe is already in flight — retry as soon as it
+// resolves). Each allowed request must report Success or Failure;
+// while open, the first Allow after the cooldown becomes the probe.
+func (b *Breaker) Allow() (retry time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return 0, true
+	case HalfOpen:
+		return 0, false
+	default: // Open
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return remaining, false
+		}
+		b.state = HalfOpen
+		return 0, true
+	}
+}
+
+// Success reports a successful request: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+}
+
+// Failure reports a failed request. A half-open probe failure re-opens
+// immediately; closed-state failures open the breaker once the streak
+// reaches the threshold.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == HalfOpen || b.failures >= b.threshold {
+		b.state = Open
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's current position, surfacing Open →
+// HalfOpen eligibility without consuming the probe.
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Failures returns the current consecutive-failure count.
+func (b *Breaker) Failures() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}

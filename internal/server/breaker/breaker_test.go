@@ -1,0 +1,116 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return New(threshold, cooldown).WithClock(clk.now), clk
+}
+
+func TestOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Allow(); !ok {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after 3/3 failures = %v, want open", b.State())
+	}
+	retry, ok := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if retry <= 0 || retry > time.Minute {
+		t.Fatalf("retry hint %v outside (0, cooldown]", retry)
+	}
+}
+
+func TestSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after interleaved success, want closed", b.State())
+	}
+	if b.Failures() != 2 {
+		t.Fatalf("failure streak = %d, want 2", b.Failures())
+	}
+}
+
+func TestHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	// Only one probe until it resolves.
+	if retry, ok := b.Allow(); ok || retry != 0 {
+		t.Fatalf("second probe admitted (ok=%v retry=%v)", ok, retry)
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("closed breaker refused request after recovery")
+	}
+}
+
+func TestProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	// The cooldown restarts from the probe failure.
+	clk.advance(30 * time.Second)
+	if _, ok := b.Allow(); ok {
+		t.Fatal("reopened breaker admitted a request halfway through the new cooldown")
+	}
+	clk.advance(30 * time.Second)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("second probe refused after full cooldown")
+	}
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *Breaker
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("nil breaker refused a request")
+	}
+	b.Failure()
+	b.Success()
+	if b.State() != Closed || b.Failures() != 0 {
+		t.Fatal("nil breaker reported non-zero state")
+	}
+}

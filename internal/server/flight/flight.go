@@ -11,7 +11,16 @@
 // metrics.
 package flight
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrLeaderPanicked is the error waiters receive when the leader's fn
+// panicked: the leader re-panics (the panic is not swallowed), and
+// every coalesced caller gets this sentinel instead of silently
+// sharing a zero result.
+var ErrLeaderPanicked = errors.New("flight: coalesced leader panicked")
 
 // call tracks one in-flight execution.
 type call struct {
@@ -35,9 +44,10 @@ type Group struct {
 // completes, the key is forgotten: a later Do starts a fresh
 // execution.
 //
-// A panic in fn propagates to the leader; waiters see a zero result
-// and a nil error, so callers should treat fn panics as bugs, not
-// control flow.
+// A panic in fn propagates to the leader (re-raised after cleanup);
+// waiters receive ErrLeaderPanicked. Either way the key is forgotten
+// and waiters are released, so a panicking fn cannot wedge later
+// callers of the key.
 func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -54,15 +64,21 @@ func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shar
 	g.m[key] = c
 	g.mu.Unlock()
 
+	normal := false
 	defer func() {
-		// Forget the key and release waiters even if fn panicked, so a
-		// panicking handler cannot wedge every later caller of the key.
+		if !normal {
+			// fn panicked (or called runtime.Goexit): publish the
+			// sentinel before releasing waiters, then let the panic
+			// continue to the leader's recovery layers.
+			c.val, c.err = nil, ErrLeaderPanicked
+		}
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()
 		c.wg.Done()
 	}()
 	c.val, c.err = fn()
+	normal = true
 	return c.val, c.err, false
 }
 

@@ -105,14 +105,36 @@ func TestDistinctKeysDoNotCoalesce(t *testing.T) {
 	}
 }
 
+// panicLeader runs a Do whose fn panics with value pv and returns what
+// the leader's deferred recover observed, failing the test if the
+// panic did not propagate.
+func panicLeader(t *testing.T, g *Group, key string, pv any, gate chan struct{}) any {
+	t.Helper()
+	var recovered any
+	func() {
+		defer func() {
+			recovered = recover()
+			if recovered == nil {
+				t.Error("leader panic did not propagate out of Do")
+			}
+		}()
+		_, _, _ = g.Do(key, func() (any, error) {
+			if gate != nil {
+				<-gate
+			}
+			panic(pv)
+		})
+	}()
+	return recovered
+}
+
 // TestPanicReleasesWaiters ensures a panicking leader does not wedge
-// the key forever.
+// the key forever and that the panic value reaches the leader intact.
 func TestPanicReleasesWaiters(t *testing.T) {
 	var g Group
-	func() {
-		defer func() { _ = recover() }()
-		_, _, _ = g.Do("k", func() (any, error) { panic("boom") })
-	}()
+	if rec := panicLeader(t, &g, "k", "boom", nil); rec != "boom" {
+		t.Fatalf("leader recovered %v, want the original panic value", rec)
+	}
 	done := make(chan struct{})
 	go func() {
 		_, _, _ = g.Do("k", func() (any, error) { return nil, nil })
@@ -122,6 +144,50 @@ func TestPanicReleasesWaiters(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("Do after a panicked leader never returned; key is wedged")
+	}
+}
+
+// TestPanicGivesWaitersSentinel attaches waiters to a leader that will
+// panic and checks every waiter receives ErrLeaderPanicked (not the
+// pre-fix silent nil result).
+func TestPanicGivesWaitersSentinel(t *testing.T) {
+	var g Group
+	const waiters = 5
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		panicLeader(t, &g, "k", errors.New("boom"), gate)
+	}()
+	waitPending(t, &g, "k", 1)
+
+	type res struct {
+		val    any
+		err    error
+		shared bool
+	}
+	results := make(chan res, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			v, err, shared := g.Do("k", func() (any, error) { return 1, nil })
+			results <- res{v, err, shared}
+		}()
+	}
+	waitPending(t, &g, "k", waiters+1)
+	close(gate)
+	<-leaderDone
+
+	for i := 0; i < waiters; i++ {
+		r := <-results
+		// A waiter that attached in time shares the sentinel; one that
+		// raced in after the key was forgotten became a fresh leader.
+		if r.shared {
+			if !errors.Is(r.err, ErrLeaderPanicked) || r.val != nil {
+				t.Fatalf("waiter %d got (%v, %v), want (nil, ErrLeaderPanicked)", i, r.val, r.err)
+			}
+		} else if r.err != nil || r.val != 1 {
+			t.Fatalf("fresh leader %d got (%v, %v), want (1, nil)", i, r.val, r.err)
+		}
 	}
 }
 

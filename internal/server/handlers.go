@@ -11,6 +11,7 @@ import (
 
 	"mio/internal/core"
 	"mio/internal/data"
+	"mio/internal/fault"
 	"mio/internal/server/metrics"
 )
 
@@ -100,6 +101,13 @@ type CacheStats struct {
 	Capacity  int    `json:"capacity"`
 }
 
+// BreakerStats is the swap-breaker section of MetricsSnapshot.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Refused             uint64 `json:"refused_total"`
+}
+
 // MetricsSnapshot is the /metrics document. cmd/mioload decodes it to
 // report server-side coalescing and cache effectiveness.
 type MetricsSnapshot struct {
@@ -117,12 +125,19 @@ type MetricsSnapshot struct {
 	BadRequests       uint64                      `json:"bad_request_total"`
 	Timeouts          uint64                      `json:"timeout_total"`
 	DrainRejected     uint64                      `json:"drain_rejected_total"`
+	Panics            uint64                      `json:"panic_total"`
+	Quarantined       uint64                      `json:"quarantined_total"`
+	Degraded          uint64                      `json:"degraded_total"`
+	SwapBreaker       BreakerStats                `json:"swap_breaker"`
+	FaultsFired       map[string]uint64           `json:"faults_fired,omitempty"`
 	Cache             CacheStats                  `json:"cache"`
 	HTTPLatency       map[string]metrics.Snapshot `json:"http_latency"`
 	PhaseLatency      map[string]metrics.Snapshot `json:"phase_latency"`
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API. Every route runs inside the
+// panic-recovery middleware: a panicking handler yields a 500 and a
+// panic_total tick instead of a killed connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/query", s.v1("query", s.handleQuery))
@@ -132,7 +147,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/dataset", s.v1("swap", s.handleSwap))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: it converts handler
+// panics into 500 responses and counts them. By the time a panic
+// reaches here the inner layers have already cleaned up — withEngine
+// refilled the pool slot (quarantining the engine) and flight.Do
+// released coalesced waiters with ErrLeaderPanicked — so recovery is
+// safe: no lock is held and no slot is lost.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// net/http's own sentinel for deliberately dropping the
+				// connection; honour it.
+				panic(rec)
+			}
+			s.m.panics.Inc()
+			// If the handler already wrote a response this write is a
+			// no-op on the status line; the counter is the reliable
+			// signal either way.
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+		}()
+		next.ServeHTTP(w, req)
+	})
 }
 
 // v1 wraps a query endpoint with drain gating, per-endpoint counters
@@ -149,6 +192,10 @@ func (s *Server) v1(kind string, h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		s.m.requests[kind].Inc()
+		if err := s.cfg.Faults.Fire(fault.PointRequest); err != nil {
+			s.writeExecError(w, err)
+			return
+		}
 		t0 := time.Now()
 		h(w, req)
 		s.m.httpLat[kind].Observe(time.Since(t0))
@@ -164,12 +211,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		return
 	}
+	// degraded=1 opts into deadline degradation: when the query budget
+	// expires mid-pipeline the client gets a 200 with Degraded set and
+	// a certified [LB, UB] interval instead of a 504. Degraded and
+	// exact requests coalesce separately (the answers differ).
+	degrade := req.URL.Query().Get("degraded") == "1"
 	epoch := s.epoch.Load()
-	key := fmt.Sprintf("%d|query|%s|%d", epoch, rKey(r), k)
+	key := fmt.Sprintf("%d|query|%s|%d|d%v", epoch, rKey(r), k, degrade)
 	val, cached, coalesced, err := s.execute(key, func() (any, error) {
 		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
-			res, err := eng.RunTopKContext(ctx, r, k)
+			var res *core.Result
+			var err error
+			if degrade {
+				res, err = eng.RunTopKDegradedContext(ctx, r, k)
+			} else {
+				res, err = eng.RunTopKContext(ctx, r, k)
+			}
 			if err == nil {
+				if res.Degraded {
+					s.m.degraded.Inc()
+				}
 				s.observePhases(res.Stats)
 			}
 			return res, err
@@ -318,20 +379,41 @@ func (s *Server) handleSwap(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusForbidden, "dataset swapping is disabled (start the server with swapping allowed)")
 		return
 	}
+	// Validate the request before consulting the breaker: a malformed
+	// body is the client's problem and must neither trip the breaker
+	// nor consume its half-open probe.
 	var sr swapRequest
 	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil || sr.Path == "" {
 		s.badRequest(w, `body must be {"path": "<dataset file>"}`)
 		return
 	}
+	if retry, ok := s.swapBreaker.Allow(); !ok {
+		s.m.swapRefused.Inc()
+		secs := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("dataset swapping suspended after repeated failures; retry in %ds", secs))
+		return
+	}
+	// From here every outcome must be reported to the breaker, or a
+	// half-open probe would never resolve.
+	if err := s.cfg.Faults.Fire(fault.PointSwapLoad); err != nil {
+		s.swapBreaker.Failure()
+		s.writeExecError(w, err)
+		return
+	}
 	ds, err := data.LoadFile(sr.Path)
 	if err != nil {
+		s.swapBreaker.Failure()
 		s.badRequest(w, fmt.Sprintf("loading dataset: %v", err))
 		return
 	}
 	if err := s.SwapDataset(ds); err != nil {
+		s.swapBreaker.Failure()
 		s.badRequest(w, err.Error())
 		return
 	}
+	s.swapBreaker.Success()
 	writeJSON(w, http.StatusOK, swapResponse{
 		Dataset: ds.Name, Objects: ds.N(), Epoch: s.epoch.Load(),
 	})
@@ -372,6 +454,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		BadRequests:       s.m.badRequests.Value(),
 		Timeouts:          s.m.timeouts.Value(),
 		DrainRejected:     s.m.drainRejected.Value(),
+		Panics:            s.m.panics.Value(),
+		Quarantined:       s.m.quarantined.Value(),
+		Degraded:          s.m.degraded.Value(),
+		SwapBreaker: BreakerStats{
+			State:               s.swapBreaker.State().String(),
+			ConsecutiveFailures: s.swapBreaker.Failures(),
+			Refused:             s.m.swapRefused.Value(),
+		},
+		FaultsFired: s.cfg.Faults.Counts(),
 		Cache: CacheStats{
 			Enabled: !s.cfg.DisableCache, Hits: hits, Misses: misses,
 			Evictions: evictions, Size: s.cache.Len(), Capacity: s.cache.Cap(),

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,14 @@ type Config struct {
 	Seed int64
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
+	// MaxAttempts is how many times one logical request may hit the
+	// server: 429 (admission rejection) and 503 (drain, breaker) are
+	// retried with jittered exponential backoff, honouring any
+	// Retry-After the server sent. Default 3; 1 disables retries.
+	MaxAttempts int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// attempt and each sleep is capped at 2s. Default 50ms.
+	RetryBase time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +73,12 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -71,7 +86,8 @@ func (c Config) withDefaults() Config {
 type Report struct {
 	Requests int
 	Errors   int           // transport errors
-	Status   map[int]int   // HTTP status → count
+	Retries  int           // extra attempts after 429/503 responses
+	Status   map[int]int   // HTTP status → count, final attempt only
 	Elapsed  time.Duration // wall clock for the whole run
 	QPS      float64       // successful (200) responses per second
 	P50      time.Duration // client-observed latency percentiles
@@ -92,6 +108,9 @@ type Report struct {
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  requests      %d (%d errors)\n", r.Requests, r.Errors)
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, "  retries       %d\n", r.Retries)
+	}
 	codes := make([]int, 0, len(r.Status))
 	for c := range r.Status {
 		codes = append(codes, c)
@@ -148,9 +167,10 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	type workerOut struct {
-		lat    []time.Duration
-		status map[int]int
-		errs   int
+		lat     []time.Duration
+		status  map[int]int
+		errs    int
+		retries int
 	}
 	outs := make([]workerOut, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -170,15 +190,26 @@ func Run(cfg Config) (*Report, error) {
 			for i := 0; i < n; i++ {
 				r := cfg.RValues[pick.next()]
 				url := fmt.Sprintf("%s/v1/query?r=%g&k=%d", cfg.BaseURL, r, cfg.K)
+				// Latency is measured across the whole logical request,
+				// backoff sleeps included — what a retrying client
+				// actually experiences.
 				q0 := time.Now()
-				resp, err := client.Get(url)
-				if err != nil {
-					out.errs++
-					continue
+				for attempt := 1; ; attempt++ {
+					resp, err := client.Get(url)
+					if err != nil {
+						out.errs++
+						break
+					}
+					retryAfter := resp.Header.Get("Retry-After")
+					resp.Body.Close()
+					if !retryable(resp.StatusCode) || attempt >= cfg.MaxAttempts {
+						out.lat = append(out.lat, time.Since(q0))
+						out.status[resp.StatusCode]++
+						break
+					}
+					out.retries++
+					time.Sleep(backoff(cfg, attempt, retryAfter, pick.rng))
 				}
-				resp.Body.Close()
-				out.lat = append(out.lat, time.Since(q0))
-				out.status[resp.StatusCode]++
 			}
 			outs[w] = out
 		}(w, n)
@@ -195,6 +226,7 @@ func Run(cfg Config) (*Report, error) {
 	var lats []time.Duration
 	for _, out := range outs {
 		rep.Errors += out.errs
+		rep.Retries += out.retries
 		for c, n := range out.status {
 			rep.Status[c] += n
 		}
@@ -214,6 +246,35 @@ func Run(cfg Config) (*Report, error) {
 	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
 	rep.Rejected = after.AdmissionRejected - before.AdmissionRejected
 	return rep, nil
+}
+
+// retryable reports whether a status signals transient overload worth
+// another attempt: 429 from admission control, 503 from draining or an
+// open circuit breaker.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the sleep before retry #attempt: the server's
+// Retry-After when present, otherwise jittered exponential backoff
+// from cfg.RetryBase. Every sleep is capped at 2s so a misbehaving
+// server cannot stall the workload.
+func backoff(cfg Config, attempt int, retryAfter string, rng *rand.Rand) time.Duration {
+	const maxSleep = 2 * time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > maxSleep {
+			d = maxSleep
+		}
+		return d
+	}
+	d := cfg.RetryBase << (attempt - 1)
+	if d > maxSleep {
+		d = maxSleep
+	}
+	// Full jitter: a uniform draw in (0, d] de-synchronises workers
+	// that were rejected together.
+	return time.Duration(rng.Int63n(int64(d))) + 1
 }
 
 func quantile(sorted []time.Duration, q float64) time.Duration {

@@ -1,7 +1,11 @@
 package loadgen
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -64,6 +68,92 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if rep.String() == "" {
 		t.Error("empty report rendering")
+	}
+}
+
+// TestRetriesOn429 fronts the workload with a flaky proxy that
+// rejects every first and second attempt with 429 + Retry-After and
+// checks the retry loop turns them into eventual 200s.
+func TestRetriesOn429(t *testing.T) {
+	ts := startServer(t, server.Config{MaxInFlight: 2, AdmissionWait: 5 * time.Second})
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasPrefix(req.URL.Path, "/v1/") {
+			mu.Lock()
+			attempts[req.URL.RawQuery]++
+			n := attempts[req.URL.RawQuery]
+			mu.Unlock()
+			if n%3 != 0 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+		}
+		resp, err := http.Get(ts.URL + req.URL.RequestURI())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	// One worker keeps the shared attempt counter aligned with the
+	// per-request attempt sequence (attempts 1,2 → 429; 3 → pass).
+	rep, err := Run(Config{
+		BaseURL:     proxy.URL,
+		Concurrency: 1,
+		Requests:    20,
+		RValues:     []float64{5},
+		Seed:        3,
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status[200] != 20 {
+		t.Fatalf("status map = %v, want 20 eventual 200s", rep.Status)
+	}
+	if rep.Retries != 40 {
+		t.Fatalf("retries = %d, want 40 (two 429s per logical request)", rep.Retries)
+	}
+	if !strings.Contains(rep.String(), "retries") {
+		t.Error("report does not mention retries")
+	}
+}
+
+// TestRetriesExhausted caps attempts below what the proxy demands and
+// checks the final 429 is surfaced rather than retried forever.
+func TestRetriesExhausted(t *testing.T) {
+	always429 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasPrefix(req.URL.Path, "/v1/") {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		_, _ = w.Write([]byte("{}")) // empty /metrics snapshot
+	}))
+	t.Cleanup(always429.Close)
+	rep, err := Run(Config{
+		BaseURL:     always429.URL,
+		Concurrency: 1,
+		Requests:    4,
+		RValues:     []float64{5},
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status[429] != 4 {
+		t.Fatalf("status map = %v, want 4 final 429s", rep.Status)
+	}
+	if rep.Retries != 4 {
+		t.Fatalf("retries = %d, want 4 (one extra attempt each)", rep.Retries)
 	}
 }
 

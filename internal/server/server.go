@@ -37,6 +37,8 @@ import (
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
+	"mio/internal/fault"
+	"mio/internal/server/breaker"
 	"mio/internal/server/cache"
 	"mio/internal/server/flight"
 	"mio/internal/server/metrics"
@@ -71,6 +73,20 @@ type Config struct {
 	// MaxSweep bounds the number of thresholds a single /v1/sweep may
 	// request. 0 selects 64.
 	MaxSweep int
+	// SwapBreakThreshold is how many consecutive dataset-swap failures
+	// (load or engine build) trip the swap circuit breaker, after which
+	// swap requests fail fast with 503 + Retry-After instead of
+	// re-reading a broken file. 0 selects 3.
+	SwapBreakThreshold int
+	// SwapBreakCooldown is how long a tripped swap breaker refuses
+	// requests before admitting a probe. 0 selects 5s.
+	SwapBreakCooldown time.Duration
+	// Faults, when non-nil, arms fault injection: the registry fires at
+	// the server's request/acquire/run/swap points and is handed to
+	// every engine the server builds (phase points), unless the engine
+	// options already carry their own registry. Production servers
+	// leave it nil.
+	Faults *fault.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +104,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweep < 1 {
 		c.MaxSweep = 64
+	}
+	if c.SwapBreakThreshold < 1 {
+		c.SwapBreakThreshold = 3
+	}
+	if c.SwapBreakCooldown <= 0 {
+		c.SwapBreakCooldown = 5 * time.Second
 	}
 	return c
 }
@@ -107,6 +129,16 @@ type Server struct {
 
 	ds    atomic.Pointer[data.Dataset]
 	epoch atomic.Uint64
+
+	// tmpl is the current (dataset, options) pair new engines are built
+	// from. It duplicates ds/opts behind one atomic pointer so panic
+	// quarantine can rebuild an engine without racing SwapDataset's
+	// mutation of s.opts.
+	tmpl atomic.Pointer[engineTemplate]
+
+	// swapBreaker trips after repeated dataset-swap failures so broken
+	// files stop being re-read on every request.
+	swapBreaker *breaker.Breaker
 
 	flight flight.Group
 	cache  *cache.Cache
@@ -142,6 +174,10 @@ type serverMetrics struct {
 	badRequests   metrics.Counter
 	timeouts      metrics.Counter
 	drainRejected metrics.Counter
+	panics        metrics.Counter // handler panics recovered by middleware
+	quarantined   metrics.Counter // engines discarded after a panic
+	degraded      metrics.Counter // deadline-degraded answers served
+	swapRefused   metrics.Counter // swaps refused by the open breaker
 	inFlight      metrics.Gauge
 }
 
@@ -162,11 +198,22 @@ func (m *serverMetrics) init() {
 	}
 }
 
+// engineTemplate is everything needed to build a replacement engine:
+// the dataset and the exact options (including the shared label store)
+// the pool's engines were built with.
+type engineTemplate struct {
+	ds   *data.Dataset
+	opts core.Options
+}
+
 // New builds a server over ds with a pool of cfg.MaxInFlight engines
 // configured from engOpts. When engOpts.Labels is non-nil the same
 // store is shared across the pool.
 func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if engOpts.Faults == nil {
+		engOpts.Faults = cfg.Faults
+	}
 	engines := make([]*core.Engine, 0, cfg.MaxInFlight)
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		e, err := core.NewEngine(ds, engOpts)
@@ -189,17 +236,19 @@ func NewFromEngine(e *core.Engine, cfg Config) *Server {
 
 func newFromPool(ds *data.Dataset, engOpts core.Options, engines []*core.Engine, cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		opts:  engOpts,
-		slots: make(chan *core.Engine, len(engines)),
-		cache: cache.New(cfg.CacheSize),
-		start: time.Now(),
+		cfg:         cfg,
+		opts:        engOpts,
+		slots:       make(chan *core.Engine, len(engines)),
+		cache:       cache.New(cfg.CacheSize),
+		swapBreaker: breaker.New(cfg.SwapBreakThreshold, cfg.SwapBreakCooldown),
+		start:       time.Now(),
 	}
 	s.m.init()
 	for _, e := range engines {
 		s.slots <- e
 	}
 	s.ds.Store(ds)
+	s.tmpl.Store(&engineTemplate{ds: ds, opts: engOpts})
 	return s
 }
 
@@ -218,6 +267,9 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 
+	if err := s.cfg.Faults.Fire(fault.PointSwapBuild); err != nil {
+		return fmt.Errorf("server: swap rejected: %w", err)
+	}
 	opts := s.opts
 	if opts.Labels != nil {
 		opts.Labels = labelstore.NewStore()
@@ -231,6 +283,9 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 		engines = append(engines, e)
 	}
 	// Drain the pool: receiving every slot waits for in-flight runs.
+	// A run that panicked is not lost: quarantine pushes a replacement
+	// engine into its slot before the panic continues, so all
+	// cap(s.slots) receives complete.
 	for i := 0; i < cap(s.slots); i++ {
 		<-s.slots
 	}
@@ -239,6 +294,7 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 	}
 	s.opts = opts
 	s.ds.Store(ds)
+	s.tmpl.Store(&engineTemplate{ds: ds, opts: opts})
 	s.epoch.Add(1)
 	s.cache.Clear()
 	return nil
@@ -277,7 +333,17 @@ func (s *Server) acquire(ctx context.Context) (*core.Engine, error) {
 
 // withEngine runs fn holding an engine slot, with the per-request
 // deadline applied on top of the caller's context.
+//
+// If fn panics, the engine that ran it is quarantined: the slot is
+// refilled with a fresh engine built from the current template (same
+// dataset, same shared label store) and the panic continues to the
+// recovery middleware. Discarding the engine costs almost nothing —
+// engines hold no per-query state — but guarantees that whatever
+// inconsistency caused the panic cannot leak into later queries.
 func (s *Server) withEngine(ctx context.Context, fn func(context.Context, *core.Engine) (any, error)) (any, error) {
+	if err := s.cfg.Faults.Fire(fault.PointAcquire); err != nil {
+		return nil, err
+	}
 	eng, err := s.acquire(ctx)
 	if err != nil {
 		if errors.Is(err, errOverload) {
@@ -285,7 +351,16 @@ func (s *Server) withEngine(ctx context.Context, fn func(context.Context, *core.
 		}
 		return nil, err
 	}
-	defer func() { s.slots <- eng }()
+	defer func() {
+		// Exactly one engine goes back per slot taken, panic or not;
+		// the pool can never leak a slot.
+		if rec := recover(); rec != nil {
+			s.m.quarantined.Inc()
+			s.slots <- s.replacementEngine(eng)
+			panic(rec)
+		}
+		s.slots <- eng
+	}()
 	s.m.inFlight.Inc()
 	defer s.m.inFlight.Dec()
 	if s.testRunBarrier != nil {
@@ -296,8 +371,25 @@ func (s *Server) withEngine(ctx context.Context, fn func(context.Context, *core.
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	if err := s.cfg.Faults.Fire(fault.PointRun); err != nil {
+		return nil, err
+	}
 	s.m.engineRuns.Inc()
 	return fn(ctx, eng)
+}
+
+// replacementEngine builds a fresh engine from the current template to
+// replace a quarantined one. If the build fails (the template already
+// built this pool, so only resource exhaustion can get here) the
+// suspect engine is returned instead: a possibly-tainted engine beats
+// a leaked slot, which would silently shrink the pool forever.
+func (s *Server) replacementEngine(old *core.Engine) *core.Engine {
+	t := s.tmpl.Load()
+	e, err := core.NewEngine(t.ds, t.opts)
+	if err != nil {
+		return old
+	}
+	return e
 }
 
 // execute is the shared request path: cache lookup, then coalesced
@@ -310,7 +402,7 @@ func (s *Server) execute(key string, fn func() (any, error)) (val any, cached, c
 	}
 	wrapped := func() (any, error) {
 		v, err := fn()
-		if err == nil && !s.cfg.DisableCache {
+		if err == nil && !s.cfg.DisableCache && cacheable(v) {
 			s.cache.Put(key, v)
 		}
 		return v, err
@@ -324,6 +416,14 @@ func (s *Server) execute(key string, fn func() (any, error)) (val any, cached, c
 		s.m.coalesced.Inc()
 	}
 	return v, false, shared, err
+}
+
+// cacheable reports whether a successful result may enter the result
+// cache. Degraded answers are partial — replaying one to a later
+// caller would hide the exact answer that caller had time to compute.
+func cacheable(v any) bool {
+	r, ok := v.(*core.Result)
+	return !ok || !r.Degraded
 }
 
 // observePhases feeds one query's PhaseStats into the per-phase

@@ -159,7 +159,7 @@ func TestCoalescing(t *testing.T) {
 	s.testRunBarrier = func() { <-release }
 	h := s.Handler()
 
-	key := fmt.Sprintf("0|query|%s|1", rKey(6))
+	key := fmt.Sprintf("0|query|%s|1|dfalse", rKey(6))
 	var wg sync.WaitGroup
 	codes := make(chan int, followers+1)
 	coalesced := atomic.Int64{}

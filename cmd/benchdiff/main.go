@@ -1,0 +1,285 @@
+// Command benchdiff compares two benchmark result files and reports
+// per-benchmark deltas — a stdlib-only benchstat-lite for this repo's
+// two formats:
+//
+//   - `go test -bench` output (the Benchmark... result lines; repeated
+//     runs via -count become samples of the same benchmark), and
+//   - BENCH_*.json snapshots written by `miobench -json`.
+//
+// The two input files may use different formats. Usage:
+//
+//	benchdiff old.txt new.txt
+//	benchdiff -metric dist_comps BENCH_old.json BENCH_new.json
+//	benchdiff -threshold 2.0 baseline.json current.json   # gate: exit 1 past 2x
+//
+// A delta is "significant" when the sample min/max ranges of old and
+// new do not overlap; with a single sample per side, when it exceeds
+// a 5% noise floor. With -threshold T > 0, benchdiff exits 1 if any
+// significant regression has new/old > T (use -report-only to always
+// exit 0). Exit 2 means the inputs could not be parsed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mio/internal/bench"
+)
+
+// noiseFloor is the relative delta below which a single-sample
+// comparison is never significant.
+const noiseFloor = 0.05
+
+// samples collects one benchmark's measurements of one metric.
+type samples []float64
+
+func (s samples) median() float64 {
+	c := append(samples(nil), s...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+func (s samples) min() float64 {
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s samples) max() float64 {
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// benchFile maps benchmark name → metric name → samples.
+type benchFile map[string]map[string]samples
+
+func (f benchFile) add(name, metric string, v float64) {
+	m, ok := f[name]
+	if !ok {
+		m = map[string]samples{}
+		f[name] = m
+	}
+	m[metric] = append(m[metric], v)
+}
+
+// parseFile sniffs the format (JSON snapshot vs go-test output) and
+// parses accordingly.
+func parseFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return parseSnapshot(path, data)
+	}
+	return parseGoBench(path, strings.NewReader(trimmed))
+}
+
+func parseSnapshot(path string, data []byte) (benchFile, error) {
+	var snap bench.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.SchemaVersion != bench.SnapshotSchemaVersion {
+		return nil, fmt.Errorf("%s: snapshot schema %d, this benchdiff understands %d",
+			path, snap.SchemaVersion, bench.SnapshotSchemaVersion)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: snapshot holds no benchmarks", path)
+	}
+	f := benchFile{}
+	for _, b := range snap.Benchmarks {
+		f.add(b.Name, "ns/op", b.NsPerOp)
+		for k, v := range b.Metrics {
+			f.add(b.Name, k, v)
+		}
+	}
+	return f, nil
+}
+
+// parseGoBench extracts Benchmark result lines:
+//
+//	BenchmarkName/sub-8   1000   123.4 ns/op   5.00 distComps/op   0 B/op
+//
+// The name is normalised by dropping the "Benchmark" prefix and the
+// trailing -GOMAXPROCS suffix, so outputs from machines with different
+// core counts still line up.
+func parseGoBench(path string, r io.Reader) (benchFile, error) {
+	f := benchFile{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := normalizeBenchName(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "BenchmarkFoo 	 some log")
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			f.add(name, fields[i+1], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return f, nil
+}
+
+func normalizeBenchName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+// row is one compared benchmark.
+type row struct {
+	name        string
+	old, new    float64 // medians
+	delta       float64 // (new-old)/old
+	significant bool
+}
+
+// compare pairs up the chosen metric across the two files. Names
+// present on only one side are returned separately so the caller can
+// surface them (a silently vanished benchmark is itself a regression).
+func compare(oldF, newF benchFile, metric string) (rows []row, onlyOld, onlyNew []string) {
+	for name := range oldF {
+		if _, ok := newF[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range newF {
+		o, ok := oldF[name]
+		if !ok {
+			onlyNew = append(onlyNew, name)
+			continue
+		}
+		olds, ook := o[metric]
+		news, nok := newF[name][metric]
+		if !ook || !nok {
+			continue
+		}
+		r := row{name: name, old: olds.median(), new: news.median()}
+		if r.old != 0 {
+			r.delta = (r.new - r.old) / r.old
+		} else if r.new != 0 {
+			r.delta = math.Inf(1)
+		}
+		if len(olds) > 1 && len(news) > 1 {
+			// Sample ranges that do not overlap: a real shift.
+			r.significant = olds.max() < news.min() || news.max() < olds.min()
+		} else {
+			r.significant = math.Abs(r.delta) > noiseFloor
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].name < rows[b].name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+// report renders the comparison and returns the names of significant
+// regressions exceeding threshold (new/old > threshold). threshold 0
+// disables gating.
+func report(w io.Writer, rows []row, onlyOld, onlyNew []string, metric string, threshold float64) []string {
+	nameW := len("benchmark")
+	for _, r := range rows {
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	_, _ = fmt.Fprintf(w, "%-*s  %14s  %14s  %8s\n", nameW, "benchmark", "old "+metric, "new "+metric, "delta")
+	var gated []string
+	for _, r := range rows {
+		note := ""
+		switch {
+		case !r.significant:
+			note = "  (~)"
+		case threshold > 0 && r.old > 0 && r.new/r.old > threshold:
+			note = "  REGRESSION"
+			gated = append(gated, r.name)
+		}
+		_, _ = fmt.Fprintf(w, "%-*s  %14.4g  %14.4g  %+7.1f%%%s\n", nameW, r.name, r.old, r.new, 100*r.delta, note)
+	}
+	for _, n := range onlyOld {
+		_, _ = fmt.Fprintf(w, "%-*s  only in old file\n", nameW, n)
+	}
+	for _, n := range onlyNew {
+		_, _ = fmt.Fprintf(w, "%-*s  only in new file\n", nameW, n)
+	}
+	return gated
+}
+
+func main() {
+	var (
+		metric     = flag.String("metric", "ns/op", "metric to compare (ns/op, or a snapshot metric like dist_comps)")
+		threshold  = flag.Float64("threshold", 0, "fail (exit 1) when a significant regression exceeds this new/old ratio; 0 disables")
+		reportOnly = flag.Bool("report-only", false, "always exit 0, even past -threshold")
+	)
+	flag.Usage = func() {
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old-file new-file\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldF, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newF, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows, onlyOld, onlyNew := compare(oldF, newF, *metric)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no common benchmarks with metric %q\n", *metric)
+		os.Exit(2)
+	}
+	gated := report(os.Stdout, rows, onlyOld, onlyNew, *metric, *threshold)
+	if len(gated) > 0 && !*reportOnly {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.2fx: %s\n",
+			len(gated), *threshold, strings.Join(gated, ", "))
+		os.Exit(1)
+	}
+}

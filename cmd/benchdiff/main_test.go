@@ -1,0 +1,175 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goBenchOld = `
+goos: linux
+BenchmarkProbeCellDenseMask 	    3000	       148.0 ns/op	        80.00 distComps/op	       0 B/op	       0 allocs/op
+BenchmarkProbeCellDenseMask 	    3000	       150.0 ns/op	        80.00 distComps/op	       0 B/op	       0 allocs/op
+BenchmarkEngineQueryBird/r=15-8       	       5	 164431477 ns/op
+PASS
+`
+
+const goBenchNew = `
+BenchmarkProbeCellDenseMask 	    3000	        83.62 ns/op	        80.00 distComps/op	       0 B/op	       0 allocs/op
+BenchmarkProbeCellDenseMask 	    3000	        85.00 ns/op	        80.00 distComps/op	       0 B/op	       0 allocs/op
+BenchmarkEngineQueryBird/r=15-4       	       5	 155161406 ns/op
+BenchmarkOnlyInNew 	    10	 1000 ns/op
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseGoBench(t *testing.T) {
+	f, err := parseFile(writeTemp(t, "old.txt", goBenchOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f["ProbeCellDenseMask"]["ns/op"]
+	if len(s) != 2 || s.median() != 149 {
+		t.Fatalf("ProbeCellDenseMask samples %v", s)
+	}
+	if got := f["ProbeCellDenseMask"]["distComps/op"]; len(got) != 2 || got[0] != 80 {
+		t.Fatalf("distComps samples %v", got)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped, sub-benchmark kept.
+	if _, ok := f["EngineQueryBird/r=15"]; !ok {
+		t.Fatalf("names: %v", keys(f))
+	}
+}
+
+func TestParseGoBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseFile(writeTemp(t, "empty.txt", "no benchmarks here\n")); err == nil {
+		t.Fatal("want error for benchmark-free input")
+	}
+}
+
+const snapOld = `{
+  "schema_version": 1, "date": "2026-08-01", "go_version": "go1.24.0",
+  "gomaxprocs": 1, "scale": 0.25,
+  "benchmarks": [
+    {"name": "EngineQuery/Bird/r=4", "ns_per_op": 100000, "iters": 3,
+     "metrics": {"dist_comps": 500, "candidates": 10}},
+    {"name": "Verification/Bird/r=4", "ns_per_op": 5000, "iters": 3,
+     "metrics": {"dist_comps": 500}}
+  ]
+}`
+
+const snapNew = `{
+  "schema_version": 1, "date": "2026-08-06", "go_version": "go1.24.0",
+  "gomaxprocs": 1, "scale": 0.25,
+  "benchmarks": [
+    {"name": "EngineQuery/Bird/r=4", "ns_per_op": 300000, "iters": 3,
+     "metrics": {"dist_comps": 500, "candidates": 10}},
+    {"name": "Verification/Bird/r=4", "ns_per_op": 5100, "iters": 3,
+     "metrics": {"dist_comps": 500}}
+  ]
+}`
+
+func TestSnapshotCompareAndGate(t *testing.T) {
+	oldF, err := parseFile(writeTemp(t, "old.json", snapOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, err := parseFile(writeTemp(t, "new.json", snapNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, onlyOld, onlyNew := compare(oldF, newF, "ns/op")
+	if len(rows) != 2 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("rows=%d onlyOld=%v onlyNew=%v", len(rows), onlyOld, onlyNew)
+	}
+	var sb strings.Builder
+	gated := report(&sb, rows, onlyOld, onlyNew, "ns/op", 2.0)
+	if len(gated) != 1 || gated[0] != "EngineQuery/Bird/r=4" {
+		t.Fatalf("gated = %v\n%s", gated, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report missing REGRESSION marker:\n%s", sb.String())
+	}
+	// The 2% verification drift is under the 5% noise floor for
+	// single-sample medians: insignificant, never gated.
+	for _, r := range rows {
+		if r.name == "Verification/Bird/r=4" && r.significant {
+			t.Fatalf("2%% drift marked significant: %+v", r)
+		}
+	}
+	// dist_comps is byte-identical: gate on it with any threshold.
+	rows, _, _ = compare(oldF, newF, "dist_comps")
+	for _, r := range rows {
+		if r.delta != 0 || r.significant {
+			t.Fatalf("dist_comps drifted: %+v", r)
+		}
+	}
+}
+
+func TestSnapshotSchemaMismatch(t *testing.T) {
+	bad := strings.Replace(snapOld, `"schema_version": 1`, `"schema_version": 99`, 1)
+	if _, err := parseFile(writeTemp(t, "bad.json", bad)); err == nil {
+		t.Fatal("want error for schema mismatch")
+	}
+}
+
+func TestMixedFormats(t *testing.T) {
+	oldF, err := parseFile(writeTemp(t, "old.txt", goBenchOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF, err := parseFile(writeTemp(t, "new.txt", goBenchNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, onlyOld, onlyNew := compare(oldF, newF, "ns/op")
+	if len(onlyOld) != 0 || len(onlyNew) != 1 || onlyNew[0] != "OnlyInNew" {
+		t.Fatalf("onlyOld=%v onlyNew=%v", onlyOld, onlyNew)
+	}
+	for _, r := range rows {
+		switch r.name {
+		case "ProbeCellDenseMask":
+			// Two samples each side, ranges [148,150] vs [83.6,85]:
+			// disjoint, hence significant; and an improvement, not gated.
+			if !r.significant || r.delta > 0 {
+				t.Fatalf("kernel speedup misjudged: %+v", r)
+			}
+		case "EngineQueryBird/r=15":
+			if r.delta > 0 {
+				t.Fatalf("improvement read as regression: %+v", r)
+			}
+		}
+	}
+	var sb strings.Builder
+	if gated := report(&sb, rows, onlyOld, onlyNew, "ns/op", 1.5); len(gated) != 0 {
+		t.Fatalf("improvements gated: %v", gated)
+	}
+	if !strings.Contains(sb.String(), "only in new file") {
+		t.Fatalf("missing only-in-new note:\n%s", sb.String())
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if m := (samples{3, 1, 2}).median(); m != 2 {
+		t.Fatalf("odd median = %g", m)
+	}
+	if m := (samples{4, 1, 2, 3}).median(); m != 2.5 {
+		t.Fatalf("even median = %g", m)
+	}
+}
+
+func keys(f benchFile) []string {
+	var out []string
+	for k := range f {
+		out = append(out, k)
+	}
+	return out
+}

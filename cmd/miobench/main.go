@@ -6,6 +6,7 @@
 //
 //	miobench                       # everything, default scale
 //	miobench -experiment fig5,fig9 -scale 0.5
+//	miobench -json auto            # write BENCH_<date>.json for benchdiff
 //	miobench -list
 package main
 
@@ -13,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mio/internal/bench"
 )
@@ -26,8 +30,37 @@ func main() {
 		workers    = flag.String("workers", "", "comma-separated core counts for the parallel experiments (default: 1,2,4,... up to GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csvOut     = flag.Bool("csv", false, "emit CSV blocks instead of aligned tables")
+		jsonOut    = flag.String("json", "", "write a benchmark snapshot to this file instead of running experiments ('auto' = BENCH_<date>.json, '-' = stdout)")
+		reps       = flag.Int("reps", 3, "repetitions per snapshot measurement (median is recorded)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	s := bench.NewSuite(os.Stdout)
 	s.Scale = *scale
@@ -57,6 +90,37 @@ func main() {
 		for _, e := range s.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
 		}
+		return
+	}
+
+	if *jsonOut != "" {
+		now := time.Now()
+		snap, err := s.Snapshot(now.Format("2006-01-02"), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		path := *jsonOut
+		switch path {
+		case "-":
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		case "auto":
+			path = bench.SnapshotFileName(now)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "miobench: wrote", path)
 		return
 	}
 

@@ -146,7 +146,7 @@ func TestTemporalOracleConstraints(t *testing.T) {
 
 func TestInteractsBoundaryInclusive(t *testing.T) {
 	a := &data.Object{Pts: []geom.Point{geom.Pt(0, 0, 0)}}
-	b := &data.Object{Pts: []geom.Point{geom.Pt(3, 4, 0)}}
+	b := objCoords{xs: []float64{3}, ys: []float64{4}, zs: []float64{0}}
 	if !interacts(a, b, 25) { // dist exactly 5, r²=25
 		t.Fatal("boundary distance not inclusive")
 	}

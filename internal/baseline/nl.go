@@ -42,14 +42,43 @@ func TopKFromScores(scores []int, k int) []Scored {
 	return all[:k]
 }
 
+// objCoords is one object's point set flattened into SoA coordinate
+// arrays, the layout the geom batch kernels consume. NL touches every
+// object n-1 times, so the one-time flattening amortises immediately.
+type objCoords struct {
+	xs, ys, zs []float64
+}
+
+// flattenObjects flattens every object of ds into objCoords, backed by
+// three dataset-wide arrays (one allocation per axis).
+func flattenObjects(ds *data.Dataset) []objCoords {
+	total := 0
+	for i := range ds.Objects {
+		total += len(ds.Objects[i].Pts)
+	}
+	xs := make([]float64, 0, total)
+	ys := make([]float64, 0, total)
+	zs := make([]float64, 0, total)
+	flat := make([]objCoords, ds.N())
+	for i := range ds.Objects {
+		lo := len(xs)
+		for _, p := range ds.Objects[i].Pts {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+			zs = append(zs, p.Z)
+		}
+		flat[i] = objCoords{xs: xs[lo:], ys: ys[lo:], zs: zs[lo:]}
+	}
+	return flat
+}
+
 // interacts reports whether two objects have a point pair within r,
-// with the early break of Algorithm 1 (lines 7-12).
-func interacts(a, b *data.Object, r2 float64) bool {
+// with the early break of Algorithm 1 (lines 7-12): the AnyWithin2
+// kernel exits on the first point of b within r of a point of a.
+func interacts(a *data.Object, b objCoords, r2 float64) bool {
 	for _, p := range a.Pts {
-		for _, q := range b.Pts {
-			if geom.Dist2(p, q) <= r2 {
-				return true
-			}
+		if geom.AnyWithin2(p.X, p.Y, p.Z, b.xs, b.ys, b.zs, r2) {
+			return true
 		}
 	}
 	return false
@@ -61,11 +90,12 @@ func interacts(a, b *data.Object, r2 float64) bool {
 func NLScores(ds *data.Dataset, r float64) []int {
 	n := ds.N()
 	r2 := r * r
+	flat := flattenObjects(ds)
 	scores := make([]int, n)
 	for i := 0; i < n; i++ {
 		oi := &ds.Objects[i]
 		for j := i + 1; j < n; j++ {
-			if interacts(oi, &ds.Objects[j], r2) {
+			if interacts(oi, flat[j], r2) {
 				scores[i]++
 				scores[j]++
 			}
@@ -87,13 +117,14 @@ func NL(ds *data.Dataset, r float64, k int) []Scored {
 func NLParallel(ds *data.Dataset, r float64, k, t int) []Scored {
 	n := ds.N()
 	r2 := r * r
+	flat := flattenObjects(ds)
 	partial := make([][]int, t)
 	parallel.Run(t, func(w int) {
 		sc := make([]int, n)
 		for i := w; i < n; i += t {
 			oi := &ds.Objects[i]
 			for j := i + 1; j < n; j++ {
-				if interacts(oi, &ds.Objects[j], r2) {
+				if interacts(oi, flat[j], r2) {
 					sc[i]++
 					sc[j]++
 				}

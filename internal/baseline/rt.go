@@ -36,6 +36,7 @@ func RTObjectScores(ds *data.Dataset, r float64) ([]int, RTObjectStats) {
 	scores := make([]int, n)
 	var st RTObjectStats
 	r2 := r * r
+	flat := flattenObjects(ds)
 	for i := 0; i < n; i++ {
 		oi := &ds.Objects[i]
 		box := entries[i].Box
@@ -45,7 +46,7 @@ func RTObjectScores(ds *data.Dataset, r float64) ([]int, RTObjectStats) {
 				return true
 			}
 			st.CandidatePairs++
-			if interacts(oi, &ds.Objects[j], r2) {
+			if interacts(oi, flat[j], r2) {
 				st.InteractingPairs++
 				scores[i]++
 				scores[j]++

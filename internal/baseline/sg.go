@@ -10,9 +10,14 @@ import (
 
 // sgCell is a simple-grid cell: posting lists only, no bitsets — SG is
 // the state-of-the-art spatial-join competitor (TOUCH-style) optimised
-// for the MIO problem, but without BIGrid's bounding machinery.
+// for the MIO problem, but without BIGrid's bounding machinery. soa is
+// the frozen SoA image of postings, built eagerly at the end of
+// BuildSG: unlike the core engine's per-query grid, SG scans its whole
+// grid once per object, so every cell repays the flattening n times
+// over.
 type sgCell struct {
 	postings []grid.Posting
+	soa      *grid.PostingBlock
 }
 
 // SGIndex is the simple grid the SG algorithm builds online: one
@@ -53,6 +58,9 @@ func BuildSG(ds *data.Dataset, r float64) *SGIndex {
 			}
 		}
 	}
+	for _, c := range idx.cells {
+		c.soa = grid.NewPostingBlock(c.postings)
+	}
 	return idx
 }
 
@@ -67,6 +75,9 @@ func (idx *SGIndex) SizeBytes() int {
 		total += entryOverhead
 		for _, p := range c.postings {
 			total += 16 + len(p.Pts)*24 + len(p.Idx)*4
+		}
+		if c.soa != nil {
+			total += c.soa.SizeBytes()
 		}
 	}
 	return total
@@ -85,16 +96,21 @@ func (idx *SGIndex) scoreObject(ds *data.Dataset, i int, r2 float64, seen *bitma
 			if c == nil {
 				continue
 			}
+			soa := c.soa
 			for pi := range c.postings {
-				post := &c.postings[pi]
-				if seen.Test(int(post.Obj)) {
+				obj := int(c.postings[pi].Obj)
+				if seen.Test(obj) {
 					continue
 				}
-				for _, q := range post.Pts {
-					if geom.Dist2(p, q) <= r2 {
-						seen.Set(int(post.Obj))
-						break
-					}
+				// One box comparison rejects a whole posting; postings
+				// that survive it are scanned with the batch kernel,
+				// which keeps the scalar loop's exit-on-first-hit.
+				if soa.Boxes[pi].Dist2To(p) > r2 {
+					continue
+				}
+				xs, ys, zs := soa.Points(pi)
+				if geom.AnyWithin2(p.X, p.Y, p.Z, xs, ys, zs, r2) {
+					seen.Set(obj)
 				}
 			}
 		}

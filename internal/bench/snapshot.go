@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"mio/internal/core"
+)
+
+// SnapshotSchemaVersion identifies the BENCH_*.json layout. Bump it on
+// incompatible changes; cmd/benchdiff refuses to compare snapshots
+// with mismatched versions.
+const SnapshotSchemaVersion = 1
+
+// BenchRecord is one benchmark result inside a snapshot. Metrics holds
+// the per-op work counters (dist_comps, candidates, verified,
+// index_bytes) that make regressions diagnosable: a time regression
+// with unchanged counters is a code-speed problem, one with grown
+// counters is an algorithmic problem.
+type BenchRecord struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int                `json:"iters"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the machine-readable benchmark record written by
+// `miobench -json` and consumed by cmd/benchdiff.
+type Snapshot struct {
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"go_version"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Scale         float64       `json:"scale"`
+	Benchmarks    []BenchRecord `json:"benchmarks"`
+}
+
+// snapshotDatasets is the subset of stand-ins the snapshot measures:
+// the two the paper leans on hardest, one sparse/many-objects (Bird)
+// and one dense/many-points (Neuron).
+var snapshotDatasets = []string{"Bird", "Neuron"}
+
+// Snapshot measures "EngineQuery/<ds>/r=<r>" (one full single-core
+// top-1 query) and "Verification/<ds>/r=<r>" (that query's
+// verification phase) on the snapshot datasets across the suite's r
+// sweep, repeating each measurement reps times and recording the
+// median. date is stamped verbatim (the caller owns the clock).
+func (s *Suite) Snapshot(date string, reps int) (*Snapshot, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	snap := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Date:          date,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         s.Scale,
+	}
+	sets := s.Datasets()
+	for _, name := range snapshotDatasets {
+		ds, ok := sets[name]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: unknown dataset %q", name)
+		}
+		eng, err := core.NewEngine(ds, core.Options{Workers: 1})
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %s: %w", name, err)
+		}
+		for _, r := range s.Rs {
+			totals := make([]float64, 0, reps)
+			verifs := make([]float64, 0, reps)
+			var last *core.Result
+			for i := 0; i < reps; i++ {
+				res, err := eng.RunTopK(r, 1)
+				if err != nil {
+					return nil, fmt.Errorf("snapshot: %s r=%g: %w", name, r, err)
+				}
+				totals = append(totals, float64(res.Stats.Total()))
+				verifs = append(verifs, float64(res.Stats.Verification))
+				last = res
+			}
+			metrics := map[string]float64{
+				"dist_comps":  float64(last.Stats.DistanceComps),
+				"candidates":  float64(last.Stats.Candidates),
+				"verified":    float64(last.Stats.Verified),
+				"index_bytes": float64(last.Stats.IndexBytes),
+			}
+			snap.Benchmarks = append(snap.Benchmarks,
+				BenchRecord{
+					Name:    fmt.Sprintf("EngineQuery/%s/r=%g", name, r),
+					NsPerOp: median(totals),
+					Iters:   reps,
+					Metrics: metrics,
+				},
+				BenchRecord{
+					Name:    fmt.Sprintf("Verification/%s/r=%g", name, r),
+					NsPerOp: median(verifs),
+					Iters:   reps,
+					Metrics: map[string]float64{"dist_comps": metrics["dist_comps"]},
+				})
+		}
+	}
+	return snap, nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (sn *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sn)
+}
+
+// median returns the median of xs (mean of the middle pair for even
+// lengths). xs is sorted in place.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// SnapshotFileName returns the conventional snapshot file name for a
+// date: BENCH_<YYYY-MM-DD>.json.
+func SnapshotFileName(t time.Time) string {
+	return "BENCH_" + t.Format("2006-01-02") + ".json"
+}

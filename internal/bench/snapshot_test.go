@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewSuite(io.Discard)
+	s.Scale = 0.02
+	s.Rs = []float64{6}
+	snap, err := s.Snapshot("2026-08-06", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SchemaVersion != SnapshotSchemaVersion || snap.Date != "2026-08-06" {
+		t.Fatalf("header: %+v", snap)
+	}
+	// 2 datasets × 1 r × 2 records (EngineQuery + Verification).
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks", len(snap.Benchmarks))
+	}
+	names := map[string]bool{}
+	for _, b := range snap.Benchmarks {
+		names[b.Name] = true
+		if b.NsPerOp <= 0 || b.Iters != 2 {
+			t.Fatalf("record %+v", b)
+		}
+	}
+	for _, want := range []string{
+		"EngineQuery/Bird/r=6", "Verification/Bird/r=6",
+		"EngineQuery/Neuron/r=6", "Verification/Neuron/r=6",
+	} {
+		if !names[want] {
+			t.Fatalf("missing %q in %v", want, names)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Metrics["dist_comps"] != snap.Benchmarks[0].Metrics["dist_comps"] {
+		t.Fatal("metrics lost in round trip")
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Fatalf("unexpected serialisation:\n%s", buf.String())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{5}); m != 5 {
+		t.Fatalf("median single = %g", m)
+	}
+	if m := median([]float64{4, 2, 8, 6}); m != 5 {
+		t.Fatalf("median even = %g", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("median nil = %g", m)
+	}
+}

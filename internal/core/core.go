@@ -77,6 +77,19 @@ type Options struct {
 	// store is configured (useful to measure the plain algorithm).
 	// Default true when Labels is set.
 	DisableCollect bool
+	// DisableFreeze disables the lazy SoA freezing of probed large-grid
+	// cells (grid.LargeCell.EnsureFrozen), forcing verification onto
+	// the AoS posting walk everywhere. The answer and the distComps
+	// counter are identical either way; the flag exists to measure the
+	// layout's effect (see DESIGN.md §11) and as an escape hatch if
+	// freeze memory ever matters more than verification speed.
+	DisableFreeze bool
+	// FreezeMinPoints is the minimum number of points a large-grid cell
+	// must hold before verification freezes it into SoA form on first
+	// probe. Cells below the threshold keep the AoS walk: flattening a
+	// handful of points costs more than it saves. 0 selects
+	// DefaultFreezeMinPoints; ignored when DisableFreeze is set.
+	FreezeMinPoints int
 	// Faults, when non-nil, is consulted at the entry of every pipeline
 	// phase (the internal/fault points "engine.label_input" through
 	// "engine.verification") so chaos tests can inject latency spikes,
@@ -97,6 +110,24 @@ func (o Options) workers() int {
 		return 1
 	}
 	return o.Workers
+}
+
+// DefaultFreezeMinPoints is the default FreezeMinPoints threshold. Cell
+// point counts are heavily skewed (the p50 cell holds a few points, the
+// p99 cell hundreds), and verification time concentrates in the big
+// cells — so only those repay the one-time flattening cost.
+const DefaultFreezeMinPoints = 32
+
+// freezeMin resolves the effective freeze threshold; 0 disables
+// freezing entirely.
+func (o Options) freezeMin() int {
+	if o.DisableFreeze {
+		return 0
+	}
+	if o.FreezeMinPoints > 0 {
+		return o.FreezeMinPoints
+	}
+	return DefaultFreezeMinPoints
 }
 
 // Scored pairs an object id with its exact MIO score.
@@ -122,7 +153,11 @@ type PhaseStats struct {
 	LabelBytes    int  `json:"label_bytes"`    // size of the label set read (O(nm) per §III-D)
 	Candidates    int  `json:"candidates"`     // |O_cand| after upper-bounding
 	Verified      int  `json:"verified"`       // objects whose exact score was computed
-	DistanceComps int  `json:"distance_comps"` // point-pair distance evaluations
+	// DistanceComps counts point pairs resolved during verification:
+	// pairs whose distance was evaluated plus pairs rejected in bulk by
+	// a frozen posting's AABB. The count is layout-independent — frozen
+	// and AoS runs of the same query report the same number.
+	DistanceComps int `json:"distance_comps"`
 	AdjComputed   int  `json:"adj_computed"`   // b^adj cells materialised
 
 	SmallCells int `json:"small_cells"`

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,9 @@ type query struct {
 	n int
 
 	r2 float64 // r²
+	// freezeMin caches Options.freezeMin(): the cell size at which
+	// verification freezes a probed cell into SoA form (0 = never).
+	freezeMin int
 
 	idx *bigrid
 
@@ -105,11 +109,12 @@ type truncCand struct {
 
 func newQuery(e *Engine, r float64, k int) *query {
 	return &query{
-		e:  e,
-		r:  r,
-		k:  k,
-		n:  e.ds.N(),
-		r2: r * r,
+		e:         e,
+		r:         r,
+		k:         k,
+		n:         e.ds.N(),
+		r2:        r * r,
+		freezeMin: e.opts.freezeMin(),
 	}
 }
 
@@ -241,9 +246,13 @@ func (q *query) skipPoint(obj, pt int) bool {
 func (q *query) gridMapping() {
 	if q.e.opts.workers() > 1 {
 		q.parallelGridMapping()
-		return
+	} else {
+		q.idx = q.buildRange(0, q.n)
 	}
-	q.idx = q.buildRange(0, q.n)
+	// The large grid is NOT frozen here: verification freezes probed
+	// cells lazily (probeCell), so the one-time SoA flattening cost is
+	// paid only for the small fraction of cells a query actually
+	// touches, and lands in the verification phase it benefits.
 }
 
 // buildRange builds a BIGrid over objects [lo, hi). With lo > 0 the
@@ -296,12 +305,20 @@ func (q *query) buildRange(lo, hi int) *bigrid {
 	// posting is exactly one group, so the grouping the parallel phases
 	// need comes for free from grid building (§IV). The group's point
 	// slice aliases the posting's index slice; both are read-only after
-	// construction.
-	b.large.ForEach(func(k grid.Key, c *grid.LargeCell) {
+	// construction. Cells are visited in sorted key order, NOT map
+	// order: group order drives the parallel phases' greedy partitions
+	// and the round-robin point assignment of parallel verification, so
+	// map-order iteration would make work counters (distComps in
+	// particular) differ run to run for identical queries.
+	keys := make([]grid.Key, 0, b.large.Len())
+	b.large.ForEach(func(k grid.Key, _ *grid.LargeCell) { keys = append(keys, k) })
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	for _, k := range keys {
+		c := b.large.Cell(k)
 		for pi := range c.Postings {
 			post := &c.Postings[pi]
 			b.groups[post.Obj] = append(b.groups[post.Obj], pointGroup{key: k, pts: post.Idx})
 		}
-	})
+	}
 	return b
 }

@@ -363,6 +363,7 @@ func (q *tQuery) verify(cand []candidate) []Scored {
 							return true
 						}
 						for pi, pp := range post.pts {
+							//lint:ignore dist2 temporal filter interleaves the per-point time check, which the spatial batch kernel cannot express
 							if geom.Dist2(p, pp) <= q.r2 && math.Abs(pt-post.times[pi]) <= q.delta {
 								bOi.Set(jj)
 								mask.Clear(jj)

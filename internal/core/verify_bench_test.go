@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"mio/internal/bitmap"
+	"mio/internal/data"
+	"mio/internal/geom"
+	"mio/internal/grid"
+)
+
+// Verification-phase benchmarks. Every benchmark here honours
+//
+//	MIO_FREEZE=off
+//
+// which disables the post-mapping SoA freeze, so the same benchmark
+// names can be compared across the two layouts with cmd/benchdiff:
+//
+//	MIO_FREEZE=off go test -bench 'ProbeCell|EngineQuery' -run '^$' ./internal/core > old.txt
+//	go test -bench 'ProbeCell|EngineQuery' -run '^$' ./internal/core > new.txt
+//	go run ./cmd/benchdiff old.txt new.txt
+
+// benchOptions returns the engine options for verification benchmarks,
+// applying the MIO_FREEZE=off toggle.
+func benchOptions(workers int) Options {
+	return Options{Workers: workers, DisableFreeze: os.Getenv("MIO_FREEZE") == "off"}
+}
+
+var benchStandins = struct {
+	once sync.Once
+	sets map[string]*data.Dataset
+}{}
+
+// standin returns the named scaled-down stand-in dataset (Bird, Neuron,
+// ...), generated once per process at scale 0.25.
+func standin(b *testing.B, name string) *data.Dataset {
+	b.Helper()
+	benchStandins.once.Do(func() { benchStandins.sets = data.Standard(0.25) })
+	ds := benchStandins.sets[name]
+	if ds == nil {
+		b.Fatalf("unknown stand-in %q", name)
+	}
+	return ds
+}
+
+// BenchmarkProbeCellDenseMask is the regression benchmark for the
+// inner-loop costs probeCell has shed: the O(n/64)-per-call mask
+// cardinality scan (now an O(1) counter maintained by bitmap.Scratch)
+// and the pointer-chased AoS point walk (now a flat SoA block behind
+// per-posting AABBs). It probes the biggest cell — where verification
+// time concentrates — with a dense mask and a probe point one cell
+// over, so most postings need a full scan or an AABB rejection rather
+// than an early first-point hit.
+func BenchmarkProbeCellDenseMask(b *testing.B) {
+	eng, err := NewEngine(standin(b, "Neuron"), benchOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := newQuery(eng, 8, 1)
+	q.gridMapping()
+
+	// The cell with the most points gives the worst-case posting scan.
+	var bestKey grid.Key
+	bestPts := -1
+	q.idx.large.ForEach(func(k grid.Key, c *grid.LargeCell) {
+		if c.NumPoints() > bestPts {
+			bestPts, bestKey = c.NumPoints(), k
+		}
+	})
+	cell := q.idx.large.Cell(bestKey)
+	adj, _ := q.idx.large.ComputeAdj(bestKey)
+	// Probe from 1.5 cell widths past the cell's centre: every point of
+	// the cell is between 1.0 and 2.5 widths away, so with r = width the
+	// probes are misses — near postings scan to the end, far postings
+	// are AABB-rejected. That is the expensive regime probeCell is
+	// optimised for; first-point hits are cheap under any layout.
+	w := q.idx.large.Width()
+	p := geom.Pt((float64(bestKey.X)+2.0)*w, (float64(bestKey.Y)+0.5)*w, (float64(bestKey.Z)+0.5)*w)
+
+	bOi := bitmap.NewScratch(q.n)
+	mask := bitmap.NewScratch(q.n)
+	ctr := ctrSet{}
+	// Warm-up probe: triggers the lazy freeze outside the timed loop.
+	// That mirrors steady state — a hot cell is probed many times per
+	// query, so the one-time flattening is not what this benchmark
+	// measures (BenchmarkEngineQuery* charges it end to end).
+	bOi.Set(0)
+	mask.AndNotFromCompressed(adj, bOi)
+	q.probeCell(cell, p, bOi, mask, &ctr)
+	ctr = ctrSet{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bOi.Reset()
+		bOi.Set(0)
+		mask.AndNotFromCompressed(adj, bOi)
+		q.probeCell(cell, p, bOi, mask, &ctr)
+	}
+	b.ReportMetric(float64(ctr.distComps)/float64(b.N), "distComps/op")
+}
+
+// benchmarkEngineQuery times the full pipeline (online grid build +
+// bounding + verification) on one stand-in, the end-to-end number the
+// paper's Fig. 5 reports.
+func benchmarkEngineQuery(b *testing.B, dataset string, r float64) {
+	eng, err := NewEngine(standin(b, dataset), benchOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var distComps int
+	for i := 0; i < b.N; i++ {
+		res, err := eng.RunTopK(r, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		distComps = res.Stats.DistanceComps
+	}
+	b.ReportMetric(float64(distComps), "distComps/op")
+}
+
+func BenchmarkEngineQueryBird(b *testing.B) {
+	for _, r := range []float64{15, 40} {
+		b.Run(fmt.Sprintf("r=%g", r), func(b *testing.B) { benchmarkEngineQuery(b, "Bird", r) })
+	}
+}
+
+func BenchmarkEngineQueryNeuron(b *testing.B) {
+	for _, r := range []float64{4, 8} {
+		b.Run(fmt.Sprintf("r=%g", r), func(b *testing.B) { benchmarkEngineQuery(b, "Neuron", r) })
+	}
+}

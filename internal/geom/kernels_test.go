@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scalarFirstWithin2 is the oracle: the exact break-on-first-hit loop
+// the kernels replace, built on the scalar Dist2.
+func scalarFirstWithin2(p Point, xs, ys, zs []float64, r2 float64) int {
+	for i := range xs {
+		if Dist2(p, Point{xs[i], ys[i], zs[i]}) <= r2 {
+			return i
+		}
+	}
+	return -1
+}
+
+func scalarCountWithin2(p Point, xs, ys, zs []float64, r2 float64) int {
+	count := 0
+	for i := range xs {
+		if Dist2(p, Point{xs[i], ys[i], zs[i]}) <= r2 {
+			count++
+		}
+	}
+	return count
+}
+
+// splitSoA flattens pts into coordinate blocks.
+func splitSoA(pts []Point) (xs, ys, zs []float64) {
+	for _, p := range pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+		zs = append(zs, p.Z)
+	}
+	return
+}
+
+// checkKernels cross-checks every kernel against the scalar oracle on
+// one input and reports mismatches.
+func checkKernels(t *testing.T, p Point, xs, ys, zs []float64, r2 float64) {
+	t.Helper()
+	wantFirst := scalarFirstWithin2(p, xs, ys, zs, r2)
+	if got := FirstWithin2(p.X, p.Y, p.Z, xs, ys, zs, r2); got != wantFirst {
+		t.Errorf("FirstWithin2(%v, n=%d, r2=%g) = %d, scalar %d", p, len(xs), r2, got, wantFirst)
+	}
+	if got, want := AnyWithin2(p.X, p.Y, p.Z, xs, ys, zs, r2), wantFirst >= 0; got != want {
+		t.Errorf("AnyWithin2(%v, n=%d, r2=%g) = %v, scalar %v", p, len(xs), r2, got, want)
+	}
+	wantCount := scalarCountWithin2(p, xs, ys, zs, r2)
+	if got := CountWithin2(p.X, p.Y, p.Z, xs, ys, zs, r2); got != wantCount {
+		t.Errorf("CountWithin2(%v, n=%d, r2=%g) = %d, scalar %d", p, len(xs), r2, got, wantCount)
+	}
+}
+
+// TestKernelsAdversarial pins the edge cases down explicitly: empty
+// blocks, every tail length around the 4-wide unroll, signed zeros,
+// subnormals, exact-boundary distances and huge magnitudes.
+func TestKernelsAdversarial(t *testing.T) {
+	sub := math.SmallestNonzeroFloat64 // subnormal
+	cases := []struct {
+		name string
+		p    Point
+		pts  []Point
+		r2   float64
+	}{
+		{"empty", Pt(0, 0, 0), nil, 1},
+		{"len1-hit", Pt(0, 0, 0), []Point{Pt(0.5, 0, 0)}, 1},
+		{"len1-miss", Pt(0, 0, 0), []Point{Pt(2, 0, 0)}, 1},
+		{"len3-tail-hit", Pt(0, 0, 0), []Point{Pt(9, 0, 0), Pt(9, 9, 0), Pt(0.1, 0.1, 0.1)}, 1},
+		{"len5-hit-in-block-and-tail", Pt(0, 0, 0), []Point{Pt(9, 0, 0), Pt(0.1, 0, 0), Pt(0.2, 0, 0), Pt(9, 9, 9), Pt(0, 0, 0)}, 1},
+		{"len7-all-miss", Pt(0, 0, 0), []Point{Pt(2, 0, 0), Pt(0, 2, 0), Pt(0, 0, 2), Pt(2, 2, 0), Pt(2, 0, 2), Pt(0, 2, 2), Pt(2, 2, 2)}, 1},
+		{"signed-zero", Pt(math.Copysign(0, -1), 0, 0), []Point{Pt(0, math.Copysign(0, -1), 0), Pt(math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1))}, 0},
+		{"subnormal-coords", Pt(sub, -sub, sub), []Point{Pt(-sub, sub, -sub), Pt(0, 0, 0)}, 0},
+		{"subnormal-r2", Pt(0, 0, 0), []Point{Pt(sub, 0, 0), Pt(0, 0, 0)}, sub},
+		{"exact-boundary", Pt(0, 0, 0), []Point{Pt(1, 0, 0), Pt(0, 1, 0)}, 1}, // d² == r² counts (<=)
+		{"just-past-boundary", Pt(0, 0, 0), []Point{Pt(1, 0, 0)}, math.Nextafter(1, 0)},
+		{"huge-coords", Pt(1e154, 0, 0), []Point{Pt(-1e154, 0, 0), Pt(1e154, 1, 1)}, 3},
+		{"inf-distance-overflow", Pt(1e200, 1e200, 0), []Point{Pt(-1e200, -1e200, 0), Pt(1e200, 1e200, 0)}, math.MaxFloat64},
+		{"r2-zero-first-of-dups", Pt(1, 2, 3), []Point{Pt(1, 2, 3), Pt(1, 2, 3), Pt(1, 2, 3), Pt(1, 2, 3), Pt(1, 2, 3)}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			xs, ys, zs := splitSoA(tc.pts)
+			checkKernels(t, tc.p, xs, ys, zs, tc.r2)
+		})
+	}
+}
+
+// TestKernelsMatchScalarProperty is the randomized property: on blocks
+// of every length (crossing the unroll boundary) with clustered
+// coordinates, kernels and scalar oracle agree bit-for-bit.
+func TestKernelsMatchScalarProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := local.Intn(21) // 0..20 covers empty, sub-block, and multi-block
+		r := local.Float64() * 3
+		p := Pt(local.NormFloat64()*2, local.NormFloat64()*2, local.NormFloat64()*2)
+		pts := make([]Point, n)
+		for i := range pts {
+			// Cluster near p so hits and misses interleave.
+			pts[i] = Pt(p.X+local.NormFloat64()*2, p.Y+local.NormFloat64()*2, p.Z+local.NormFloat64()*2)
+		}
+		xs, ys, zs := splitSoA(pts)
+		wantFirst := scalarFirstWithin2(p, xs, ys, zs, r*r)
+		wantCount := scalarCountWithin2(p, xs, ys, zs, r*r)
+		return FirstWithin2(p.X, p.Y, p.Z, xs, ys, zs, r*r) == wantFirst &&
+			AnyWithin2(p.X, p.Y, p.Z, xs, ys, zs, r*r) == (wantFirst >= 0) &&
+			CountWithin2(p.X, p.Y, p.Z, xs, ys, zs, r*r) == wantCount
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzKernelsMatchScalar drives the kernels with fuzz-chosen query
+// point, radius and a PRNG-expanded block whose coordinates mix
+// normal values, signed zeros and subnormals. NaN inputs are skipped:
+// the layer above (data.Validate, ReadBinary hardening) rejects them
+// before any kernel runs.
+func FuzzKernelsMatchScalar(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 1.0, int64(1), uint8(0))
+	f.Add(1.5, -2.5, 3.5, 2.0, int64(42), uint8(9))
+	f.Add(math.Copysign(0, -1), 0.0, 0.0, 0.0, int64(7), uint8(5))
+	f.Add(1e154, -1e154, 0.0, math.MaxFloat64, int64(99), uint8(20))
+	f.Fuzz(func(t *testing.T, px, py, pz, r2 float64, seed int64, n uint8) {
+		if math.IsNaN(px) || math.IsNaN(py) || math.IsNaN(pz) || math.IsNaN(r2) {
+			t.Skip("NaN-free domain")
+		}
+		local := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		zs := make([]float64, n)
+		for i := 0; i < int(n); i++ {
+			for _, c := range []*float64{&xs[i], &ys[i], &zs[i]} {
+				switch local.Intn(8) {
+				case 0:
+					*c = math.Copysign(0, -1)
+				case 1:
+					*c = math.SmallestNonzeroFloat64 * float64(local.Intn(5))
+				case 2:
+					*c = px + local.NormFloat64()*1e-8
+				default:
+					*c = local.NormFloat64() * math.Pow(10, float64(local.Intn(8)-4))
+				}
+			}
+		}
+		p := Pt(px, py, pz)
+		wantFirst := scalarFirstWithin2(p, xs, ys, zs, r2)
+		if got := FirstWithin2(px, py, pz, xs, ys, zs, r2); got != wantFirst {
+			t.Fatalf("FirstWithin2 = %d, scalar %d (n=%d r2=%g)", got, wantFirst, n, r2)
+		}
+		if got := CountWithin2(px, py, pz, xs, ys, zs, r2); got != scalarCountWithin2(p, xs, ys, zs, r2) {
+			t.Fatalf("CountWithin2 = %d, scalar %d (n=%d r2=%g)", got, scalarCountWithin2(p, xs, ys, zs, r2), n, r2)
+		}
+	})
+}
+
+// TestKernelsMismatchedLengthsPanic documents the contract: shorter
+// ys/zs blocks panic instead of truncating silently.
+func TestKernelsMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched block lengths did not panic")
+		}
+	}()
+	FirstWithin2(0, 0, 0, []float64{1, 2}, []float64{1}, []float64{1, 2}, 1)
+}
+
+func BenchmarkFirstWithin2(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 256
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		zs[i] = rng.Float64() * 100
+	}
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if FirstWithin2(-50, -50, -50, xs, ys, zs, 1) != -1 {
+				b.Fatal("unexpected hit")
+			}
+		}
+	})
+	b.Run("scalar-miss", func(b *testing.B) {
+		p := Pt(-50, -50, -50)
+		for i := 0; i < b.N; i++ {
+			if scalarFirstWithin2(p, xs, ys, zs, 1) != -1 {
+				b.Fatal("unexpected hit")
+			}
+		}
+	})
+}

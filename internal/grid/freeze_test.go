@@ -1,0 +1,170 @@
+package grid
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mio/internal/geom"
+)
+
+// buildRandomGrid maps a deterministic random point cloud (path-like,
+// so consecutive points share cells) into a fresh large grid.
+func buildRandomGrid(seed int64, nObj, maxPts int, width float64) *LargeGrid {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewLargeGrid(width, nObj)
+	for obj := 0; obj < nObj; obj++ {
+		p := geom.Pt(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+		for j := 0; j < 1+rng.Intn(maxPts); j++ {
+			p = p.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			g.Add(obj, j, p)
+		}
+	}
+	return g
+}
+
+// TestFreezeMatchesAoS asserts the frozen SoA image of every cell is a
+// faithful flattening: identical postings (same points in the same
+// order) and AABBs that exactly bound each posting.
+func TestFreezeMatchesAoS(t *testing.T) {
+	g := buildRandomGrid(31, 120, 30, 2)
+	g.Freeze()
+	cells := 0
+	g.ForEach(func(k Key, c *LargeCell) {
+		cells++
+		soa := c.Frozen()
+		if soa == nil {
+			t.Fatalf("cell %v not frozen", k)
+		}
+		if len(soa.Off) != len(c.Postings)+1 || len(soa.Boxes) != len(c.Postings) {
+			t.Fatalf("cell %v: offset/box table sized %d/%d for %d postings",
+				k, len(soa.Off), len(soa.Boxes), len(c.Postings))
+		}
+		for pi := range c.Postings {
+			post := &c.Postings[pi]
+			xs, ys, zs := soa.Points(pi)
+			if len(xs) != len(post.Pts) || soa.Len(pi) != len(post.Pts) {
+				t.Fatalf("cell %v posting %d: %d SoA points vs %d AoS", k, pi, len(xs), len(post.Pts))
+			}
+			want := geom.Bound(post.Pts)
+			if soa.Boxes[pi] != want {
+				t.Fatalf("cell %v posting %d: AABB %+v, want %+v", k, pi, soa.Boxes[pi], want)
+			}
+			for i, p := range post.Pts {
+				if xs[i] != p.X || ys[i] != p.Y || zs[i] != p.Z {
+					t.Fatalf("cell %v posting %d point %d: SoA (%g,%g,%g) vs AoS %v",
+						k, pi, i, xs[i], ys[i], zs[i], p)
+				}
+			}
+		}
+	})
+	if cells == 0 {
+		t.Fatal("grid generated no cells")
+	}
+}
+
+// TestFreezeInvalidation: mutating a frozen cell drops its SoA image,
+// and re-freezing restores consistency; untouched cells keep their
+// image (idempotence).
+func TestFreezeInvalidation(t *testing.T) {
+	g := NewLargeGrid(2, 8)
+	g.Add(0, 0, geom.Pt(0.5, 0.5, 0.5))
+	g.Add(1, 0, geom.Pt(9.5, 0.5, 0.5))
+	g.Freeze()
+	k0 := g.KeyFor(geom.Pt(0.5, 0.5, 0.5))
+	kFar := g.KeyFor(geom.Pt(9.5, 0.5, 0.5))
+	farSoA := g.Cell(kFar).Frozen()
+	if g.Cell(k0).Frozen() == nil || farSoA == nil {
+		t.Fatal("freeze left cells without SoA")
+	}
+
+	g.Add(2, 0, geom.Pt(0.6, 0.6, 0.6)) // same cell as object 0
+	if g.Cell(k0).Frozen() != nil {
+		t.Fatal("Add did not invalidate the frozen image")
+	}
+	g.Freeze()
+	c := g.Cell(k0)
+	if c.Frozen() == nil || len(c.Frozen().Boxes) != 2 {
+		t.Fatalf("re-freeze image wrong: %+v", c.Frozen())
+	}
+	if g.Cell(kFar).Frozen() != farSoA {
+		t.Fatal("idempotent re-freeze rebuilt an untouched cell")
+	}
+
+	// Merge also invalidates overlapping cells.
+	other := NewLargeGrid(2, 8)
+	other.Add(5, 0, geom.Pt(0.7, 0.7, 0.7))
+	other.Freeze()
+	g.MergeFrom(other)
+	if g.Cell(k0).Frozen() != nil {
+		t.Fatal("MergeFrom did not invalidate the frozen image")
+	}
+	g.Freeze()
+	if got := len(g.Cell(k0).Frozen().Boxes); got != 3 {
+		t.Fatalf("post-merge freeze has %d postings, want 3", got)
+	}
+}
+
+// TestPostingBlockEmpty covers cells and postings with no points.
+func TestPostingBlockEmpty(t *testing.T) {
+	b := NewPostingBlock(nil)
+	if len(b.Off) != 1 || len(b.Boxes) != 0 || len(b.Xs) != 0 {
+		t.Fatalf("empty block: %+v", b)
+	}
+	if b.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must count headers")
+	}
+	b = NewPostingBlock([]Posting{{Obj: 3}})
+	if b.Len(0) != 0 {
+		t.Fatalf("pointless posting Len = %d", b.Len(0))
+	}
+	if !b.Boxes[0].Empty() {
+		t.Fatalf("pointless posting AABB not empty: %+v", b.Boxes[0])
+	}
+}
+
+// TestPostingIndex pins the binary-search lookup against Posting.
+func TestPostingIndex(t *testing.T) {
+	g := NewLargeGrid(4, 16)
+	for _, obj := range []int{1, 4, 9} {
+		g.Add(obj, 0, geom.Pt(0.5, 0.5, 0.5))
+	}
+	c := g.Cell(g.KeyFor(geom.Pt(0.5, 0.5, 0.5)))
+	for _, tc := range []struct{ obj, want int }{{1, 0}, {4, 1}, {9, 2}, {0, -1}, {5, -1}, {100, -1}} {
+		if got := c.PostingIndex(tc.obj); got != tc.want {
+			t.Errorf("PostingIndex(%d) = %d, want %d", tc.obj, got, tc.want)
+		}
+	}
+	if pts := c.Posting(4); len(pts) != 1 {
+		t.Fatalf("Posting(4) = %v", pts)
+	}
+}
+
+// TestEnsureFrozenConcurrent hammers lazy freezing from many
+// goroutines: all callers must observe the same published block (the
+// CAS loser adopts the winner's image).
+func TestEnsureFrozenConcurrent(t *testing.T) {
+	g := buildRandomGrid(7, 40, 20, 2)
+	var keys []Key
+	g.ForEach(func(k Key, _ *LargeCell) { keys = append(keys, k) })
+	results := make([][]*PostingBlock, 8)
+	var wg sync.WaitGroup
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = make([]*PostingBlock, len(keys))
+			for i, k := range keys {
+				results[w][i] = g.Cell(k).EnsureFrozen()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(results); w++ {
+		for i := range keys {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d cell %v saw a different frozen block", w, keys[i])
+			}
+		}
+	}
+}

@@ -19,6 +19,18 @@ type Key struct {
 	X, Y, Z int32
 }
 
+// Less orders keys lexicographically by (X, Y, Z), giving callers a
+// deterministic cell iteration order independent of map layout.
+func (k Key) Less(o Key) bool {
+	if k.X != o.X {
+		return k.X < o.X
+	}
+	if k.Y != o.Y {
+		return k.Y < o.Y
+	}
+	return k.Z < o.Z
+}
+
 // KeyFor quantises a point to the cell key for the given cell width.
 func KeyFor(p geom.Point, width float64) Key {
 	return Key{

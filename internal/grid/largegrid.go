@@ -31,17 +31,66 @@ type LargeCell struct {
 	B        *bitmap.Compressed
 	adj      atomic.Pointer[bitmap.Compressed]
 	Postings []Posting
+	// npts counts the cell's points across all postings, maintained by
+	// Add/MergeFrom. Callers use it to decide whether a cell is big
+	// enough to be worth freezing.
+	npts int32
+	// soa is the frozen structure-of-arrays image of Postings, built
+	// lazily by EnsureFrozen (or eagerly by LargeGrid.Freeze) and nil
+	// before then. Any later mutation (Add, MergeFrom) invalidates it,
+	// so a non-nil image is always consistent with Postings. The atomic
+	// pointer lets concurrent verification workers freeze a shared cell
+	// without locks: both may build the (identical, immutable) block,
+	// one publishes, the loser's copy is garbage.
+	soa atomic.Pointer[PostingBlock]
 }
 
 // Adj returns the memoised b^adj(c), or nil if not yet computed.
 func (c *LargeCell) Adj() *bitmap.Compressed { return c.adj.Load() }
 
-// Posting returns the posting list for obj, or nil. Postings are sorted
-// by object id (construction visits objects in id order), so lookup is
-// a binary search.
-func (c *LargeCell) Posting(obj int) []geom.Point {
+// NumPoints returns the total number of points in the cell.
+func (c *LargeCell) NumPoints() int { return int(c.npts) }
+
+// Frozen returns the cell's frozen SoA image, or nil if none exists.
+func (c *LargeCell) Frozen() *PostingBlock { return c.soa.Load() }
+
+// EnsureFrozen returns the cell's frozen SoA image, building and
+// memoising it on first call. Safe for concurrent use once grid
+// construction has finished; must not run concurrently with mutation.
+func (c *LargeCell) EnsureFrozen() *PostingBlock {
+	if b := c.soa.Load(); b != nil {
+		return b
+	}
+	b := NewPostingBlock(c.Postings)
+	if c.soa.CompareAndSwap(nil, b) {
+		return b
+	}
+	return c.soa.Load()
+}
+
+// invalidateFrozen drops a stale SoA image after mutation. The load
+// keeps the common construction path (no image exists yet) to a plain
+// read instead of an atomic store per point.
+func (c *LargeCell) invalidateFrozen() {
+	if c.soa.Load() != nil {
+		c.soa.Store(nil)
+	}
+}
+
+// PostingIndex returns the index of obj's posting in Postings, or -1.
+// Postings are sorted by object id (construction visits objects in id
+// order), so lookup is a binary search.
+func (c *LargeCell) PostingIndex(obj int) int {
 	i := sort.Search(len(c.Postings), func(i int) bool { return int(c.Postings[i].Obj) >= obj })
 	if i < len(c.Postings) && int(c.Postings[i].Obj) == obj {
+		return i
+	}
+	return -1
+}
+
+// Posting returns the posting list for obj, or nil.
+func (c *LargeCell) Posting(obj int) []geom.Point {
+	if i := c.PostingIndex(obj); i >= 0 {
 		return c.Postings[i].Pts
 	}
 	return nil
@@ -93,6 +142,8 @@ func (g *LargeGrid) Add(obj, ptIdx int, p geom.Point) (Key, *LargeCell) {
 		g.lastKey, g.lastCell = k, c
 	}
 	c.B.Set(obj)
+	c.npts++
+	c.invalidateFrozen()
 	if n := len(c.Postings); n > 0 && int(c.Postings[n-1].Obj) == obj {
 		c.Postings[n-1].Pts = append(c.Postings[n-1].Pts, p)
 		c.Postings[n-1].Idx = append(c.Postings[n-1].Idx, int32(ptIdx))
@@ -163,6 +214,23 @@ func (g *LargeGrid) MergeFrom(other *LargeGrid) {
 		}
 		c.B = bitmap.Or(c.B, oc.B)
 		c.Postings = append(c.Postings, oc.Postings...)
+		c.npts += oc.npts
+		c.invalidateFrozen()
+	}
+}
+
+// Freeze eagerly derives the structure-of-arrays image of every cell's
+// posting lists (see PostingBlock). The query pipeline does NOT call
+// this — it freezes cells lazily and selectively at probe time
+// (LargeCell.EnsureFrozen), because an online per-query grid touches
+// only a small fraction of its cells during verification and flattening
+// the rest is pure overhead. Freeze exists for grids that outlive one
+// query (offline/reused indexes) and for tests. It is idempotent —
+// cells that already carry a consistent image are skipped — and must
+// not run concurrently with mutation.
+func (g *LargeGrid) Freeze() {
+	for _, c := range g.cells {
+		c.EnsureFrozen()
 	}
 }
 
@@ -178,6 +246,9 @@ func (g *LargeGrid) SizeBytes() int {
 		}
 		for _, p := range c.Postings {
 			total += 16 /* posting header */ + len(p.Pts)*24 + len(p.Idx)*4
+		}
+		if b := c.soa.Load(); b != nil {
+			total += b.SizeBytes()
 		}
 	}
 	return total

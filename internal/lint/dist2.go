@@ -29,13 +29,23 @@ var squaredNameRe = regexp.MustCompile(`(2|[sS]q|[sS]quared|RR)$|^rr$`)
 // distances).
 var defaultHotPathRe = regexp.MustCompile(`internal/(core|grid|bitmap)(/|$)`)
 
+// postingLoopRe marks the packages whose posting loops must use the
+// geom batch kernels: the core pipeline probes frozen SoA blocks with
+// FirstWithin2/AnyWithin2, so a scalar Dist2 inside a range over
+// []Point there is either the deliberate AoS fallback (suppress it
+// with a reason) or a performance bug.
+var postingLoopRe = regexp.MustCompile(`internal/core(/|$)`)
+
 // Dist2Analyzer enforces the squared-distance convention:
 //
 //  1. a comparison of a Dist2/NearestDist2/Dist2To result against a
 //     bare radius identifier (r, radius) is flagged — the right-hand
 //     side must be r*r or a *2-suffixed squared value;
 //  2. math.Sqrt may not appear in hot-path packages (matching hotRe,
-//     default internal/core, internal/grid, internal/bitmap).
+//     default internal/core, internal/grid, internal/bitmap);
+//  3. in internal/core (non-test files), a Dist2-family call inside a
+//     loop ranging over a []Point is flagged: posting loops belong on
+//     the batch kernels over frozen SoA blocks.
 //
 // Pass nil for hotRe to use the default hot-path set.
 func Dist2Analyzer(hotRe *regexp.Regexp) *Analyzer {
@@ -44,15 +54,22 @@ func Dist2Analyzer(hotRe *regexp.Regexp) *Analyzer {
 	}
 	a := &Analyzer{
 		Name: "dist2",
-		Doc:  "enforce squared-distance comparisons (Dist2 vs r*r) and a Sqrt-free hot path",
+		Doc:  "enforce squared-distance comparisons (Dist2 vs r*r), a Sqrt-free hot path, and kernel-based posting loops",
 	}
 	a.Run = func(p *Pass) {
 		hot := hotRe.MatchString(p.Pkg.Path)
+		postingScope := postingLoopRe.MatchString(p.Pkg.Path)
+		reported := map[token.Pos]bool{}
 		walkFiles(p, func(f *ast.File) {
+			testFile := strings.HasSuffix(p.Pkg.Fset.Position(f.Pos()).Filename, "_test.go")
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.BinaryExpr:
 					checkDist2Cmp(p, n)
+				case *ast.RangeStmt:
+					if postingScope && !testFile && rangesOverPoints(p, n) {
+						checkPostingLoop(p, n, reported)
+					}
 				case *ast.CallExpr:
 					if hot && isMathSqrt(p, n) {
 						p.Reportf(n.Pos(), "math.Sqrt in hot-path package %s: compare squared distances against r*r instead", p.Pkg.Path)
@@ -63,6 +80,41 @@ func Dist2Analyzer(hotRe *regexp.Regexp) *Analyzer {
 		})
 	}
 	return a
+}
+
+// rangesOverPoints reports whether r iterates a slice of a named type
+// called Point (geom.Point in the real module, a local stand-in in
+// fixtures).
+func rangesOverPoints(p *Pass, r *ast.RangeStmt) bool {
+	tv, ok := p.Pkg.Info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Point"
+}
+
+// checkPostingLoop flags scalar Dist2-family calls in the body of a
+// range over []Point. reported dedupes calls seen through nested
+// ranges.
+func checkPostingLoop(p *Pass, r *ast.RangeStmt, reported map[token.Pos]bool) {
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !dist2Funcs[name] || reported[call.Pos()] {
+			return true
+		}
+		reported[call.Pos()] = true
+		p.Reportf(call.Pos(), "scalar %s in a posting loop over []Point: probe a frozen SoA block with the geom batch kernels (FirstWithin2/AnyWithin2) instead", name)
+		return true
+	})
 }
 
 func checkDist2Cmp(p *Pass, b *ast.BinaryExpr) {

@@ -40,3 +40,40 @@ func hotSqrt(r float64) float64 {
 	y := math.Sqrt(r)
 	return x + y
 }
+
+// Point is a local stand-in for geom.Point; the posting-loop rule keys
+// on the element type name.
+type Point struct{ X, Y, Z float64 }
+
+func postingLoops(pts []Point, q Point, r2 float64) int {
+	n := 0
+	for _, pp := range pts {
+		if Dist2(pp.X, q.X) <= r2 { // want "posting loop"
+			n++
+		}
+	}
+	for i := range pts {
+		if Dist2(pts[i].Y, q.Y) <= r2 { // want "posting loop"
+			n++
+		}
+	}
+	for _, pp := range pts {
+		for j := range pts { // nested ranges must not double-report
+			if Dist2(pp.Z, pts[j].Z) <= r2 { // want "posting loop"
+				n++
+			}
+		}
+	}
+	for _, f := range []float64{1, 2} {
+		if Dist2(f, q.X) <= r2 { // not a Point loop: fine
+			n++
+		}
+	}
+	for _, pp := range pts {
+		//lint:ignore dist2 fixture demonstrates posting-loop suppression
+		if Dist2(pp.X, pp.Y) <= r2 {
+			n++
+		}
+	}
+	return n
+}

@@ -10,6 +10,15 @@
 //	miosrv -gen syn -scale 0.5            # serve a generated dataset
 //	miosrv -data d.bin -no-cache -no-coalesce  # measure the raw engine
 //	miosrv -gen syn -faults 'seed=42;engine.verification=panic:0.01'  # chaos mode
+//	miosrv -gen syn -state-dir ./state    # durable: restarts recover dataset + labels
+//
+// With -state-dir the server keeps its state in a crash-safe snapshot
+// directory: the dataset (and every label set queries compute) is
+// committed as a checksummed generation, dataset swaps commit a new
+// generation before serving it, and a restart recovers the last good
+// generation — warm labels included — quarantining anything corrupt.
+// On a warm restart -data/-gen are ignored in favour of the recovered
+// generation; use POST /v1/dataset to replace it.
 //
 // Endpoints: GET /v1/query?r=&k=, /v1/interacting?r=&obj=,
 // /v1/scores?r=, /v1/sweep?rs=&k=, /healthz, /metrics; POST
@@ -31,6 +40,7 @@ import (
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
+	"mio/internal/durable"
 	"mio/internal/fault"
 	"mio/internal/server"
 )
@@ -46,6 +56,7 @@ func main() {
 		dims     = flag.Int("dims", 3, "data dimensionality (2 or 3)")
 		inflight = flag.Int("inflight", 1, "max concurrent engine runs (sizes the engine pool)")
 		labelDir = flag.String("labels", "", "directory for a persistent label store (default in-memory)")
+		stateDir = flag.String("state-dir", "", "durable state directory: crash-safe dataset generations + per-generation labels")
 		noLabels = flag.Bool("no-labels", false, "disable the §III-D label store")
 		cacheSz  = flag.Int("cache", 256, "result cache capacity in entries")
 		noCache  = flag.Bool("no-cache", false, "disable the result cache")
@@ -57,20 +68,72 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := loadOrGen(*dataPath, *gen, *scale, *seed)
-	if err != nil {
-		fatal(err)
+	var reg *fault.Registry
+	if *faults != "" {
+		var err error
+		reg, err = fault.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "miosrv: FAULT INJECTION ARMED: %s\n", reg)
+	}
+
+	// Resolve the served dataset. With -state-dir a committed generation
+	// wins over -data/-gen (warm restart); an empty state directory gets
+	// its first generation from them.
+	var (
+		ds         *data.Dataset
+		st         *server.DurableState
+		stateStore *labelstore.Store
+	)
+	if *stateDir != "" {
+		if *labelDir != "" {
+			fatal("-labels and -state-dir are mutually exclusive (labels live inside the state directory)")
+		}
+		var err error
+		st, err = server.OpenState(*stateDir, durable.IO{Faults: reg})
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := st.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if rec != nil {
+			if *dataPath != "" || *gen != "" {
+				fmt.Fprintln(os.Stderr, "miosrv: state dir holds a committed generation; ignoring -data/-gen (POST /v1/dataset to replace)")
+			}
+			ds, stateStore = rec.Dataset, rec.Labels
+			fmt.Fprintf(os.Stderr, "miosrv: recovered generation %d from %s\n", rec.Generation, *stateDir)
+		} else {
+			if ds, err = loadOrGen(*dataPath, *gen, *scale, *seed); err != nil {
+				fatal(err)
+			}
+			var genNum uint64
+			if stateStore, genNum, err = st.CommitDataset(ds); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "miosrv: committed generation %d to %s\n", genNum, *stateDir)
+		}
+	} else {
+		var err error
+		if ds, err = loadOrGen(*dataPath, *gen, *scale, *seed); err != nil {
+			fatal(err)
+		}
 	}
 
 	opts := core.Options{Dims: *dims, Workers: *workers}
 	if !*noLabels {
-		if *labelDir != "" {
+		switch {
+		case stateStore != nil:
+			opts.Labels = stateStore
+		case *labelDir != "":
 			store, err := labelstore.NewDiskStore(*labelDir)
 			if err != nil {
 				fatal(err)
 			}
 			opts.Labels = store
-		} else {
+		default:
 			opts.Labels = labelstore.NewStore()
 		}
 	}
@@ -82,14 +145,8 @@ func main() {
 		DisableCache:    *noCache,
 		DisableCoalesce: *noCoal,
 		AllowSwap:       *swap,
-	}
-	if *faults != "" {
-		reg, err := fault.Parse(*faults)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Faults = reg
-		fmt.Fprintf(os.Stderr, "miosrv: FAULT INJECTION ARMED: %s\n", reg)
+		State:           st,
+		Faults:          reg,
 	}
 	srv, err := server.New(ds, opts, cfg)
 	if err != nil {

@@ -149,16 +149,20 @@ type PhaseStats struct {
 	UpperBounding time.Duration `json:"upper_bounding_ns"`
 	Verification  time.Duration `json:"verification_ns"`
 
-	UsedLabels    bool `json:"used_labels"`    // ran the §III-D variants
-	LabelBytes    int  `json:"label_bytes"`    // size of the label set read (O(nm) per §III-D)
-	Candidates    int  `json:"candidates"`     // |O_cand| after upper-bounding
-	Verified      int  `json:"verified"`       // objects whose exact score was computed
+	UsedLabels bool `json:"used_labels"` // ran the §III-D variants
+	// LabelPersistFailed reports that collected labels could not be
+	// committed to the store's disk backing; the answer is still exact
+	// and the labels stay warm in memory for this process.
+	LabelPersistFailed bool `json:"label_persist_failed,omitempty"`
+	LabelBytes         int  `json:"label_bytes"` // size of the label set read (O(nm) per §III-D)
+	Candidates         int  `json:"candidates"`  // |O_cand| after upper-bounding
+	Verified           int  `json:"verified"`    // objects whose exact score was computed
 	// DistanceComps counts point pairs resolved during verification:
 	// pairs whose distance was evaluated plus pairs rejected in bulk by
 	// a frozen posting's AABB. The count is layout-independent — frozen
 	// and AoS runs of the same query report the same number.
 	DistanceComps int `json:"distance_comps"`
-	AdjComputed   int  `json:"adj_computed"`   // b^adj cells materialised
+	AdjComputed   int `json:"adj_computed"` // b^adj cells materialised
 
 	SmallCells int `json:"small_cells"`
 	LargeCells int `json:"large_cells"`

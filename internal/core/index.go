@@ -211,10 +211,14 @@ func (q *query) run() (*Result, error) {
 	q.finishGridStats()
 
 	// Post-processing: publish collected labels (§III-D "labels are
-	// outputted in post-processing").
+	// outputted in post-processing"). Labels are a reusable cache, not
+	// part of the answer: a failed persist (disk full, injected IO
+	// fault) is reported in the stats but must not fail an exact
+	// query. The store keeps the set in memory either way, so this
+	// process stays warm; only a restart loses the work.
 	if q.newLabels != nil {
 		if err := q.e.opts.Labels.Put(q.ceilR(), q.newLabels); err != nil {
-			return nil, err
+			q.stats.LabelPersistFailed = true
 		}
 	}
 

@@ -23,6 +23,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"mio/internal/durable"
 )
 
 // Label bit masks.
@@ -92,11 +94,21 @@ func (l *Labels) Counts() (mapped, upper, verify int) {
 // writes each label set to disk and Get reads it back, so labels
 // survive beyond memory as §III-D prescribes; without a Dir the store
 // is purely in-memory.
+//
+// Disk round-trips go through internal/durable: label files are
+// committed atomically inside a checksummed envelope, and a file that
+// fails validation on read — torn write, bit flip, truncation — is
+// quarantined (renamed *.corrupt) and reported as a miss. Labels are
+// a cache of recyclable work, so "recompute" is always a safe answer;
+// serving a corrupt label set would silently skip live points.
 type Store struct {
 	mu    sync.Mutex
 	mem   map[int]*Labels
 	dir   string
+	dio   durable.IO
 	cache bool // keep disk-backed label sets in memory too
+
+	quarantined uint64 // corrupt files moved aside by Get
 }
 
 // NewStore returns an in-memory label store.
@@ -108,17 +120,27 @@ func NewStore() *Store {
 // (created if needed). Label sets are still served from memory once
 // loaded.
 func NewDiskStore(dir string) (*Store, error) {
+	return NewDiskStoreIO(dir, durable.IO{})
+}
+
+// NewDiskStoreIO is NewDiskStore with an explicit durability context,
+// so crash tests can inject IO faults into label commits.
+func NewDiskStoreIO(dir string, dio durable.IO) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("labelstore: %w", err)
 	}
-	return &Store{mem: make(map[int]*Labels), dir: dir, cache: true}, nil
+	return &Store{mem: make(map[int]*Labels), dir: dir, dio: dio, cache: true}, nil
 }
 
 func (s *Store) path(ceil int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("labels-%d.bin", ceil))
 }
 
-// Put stores the labels for the given ⌈r⌉, replacing any previous set.
+// Put stores the labels for the given ⌈r⌉, replacing any previous
+// set. The in-memory copy is installed first: even when the durable
+// commit fails (disk full, injected IO fault) this process keeps its
+// warm labels, and the commit protocol guarantees the previous on-disk
+// set survives intact.
 func (s *Store) Put(ceil int, l *Labels) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -126,15 +148,17 @@ func (s *Store) Put(ceil int, l *Labels) error {
 	if s.dir == "" {
 		return nil
 	}
-	data := marshalLabels(l)
-	if err := os.WriteFile(s.path(ceil), data, 0o644); err != nil {
+	if err := s.dio.CommitEnvelope(s.path(ceil), marshalLabels(l)); err != nil {
 		return fmt.Errorf("labelstore: write: %w", err)
 	}
 	return nil
 }
 
 // Get returns the labels for the given ⌈r⌉, or (nil, false) when none
-// exist. Disk-backed sets are loaded on first access.
+// exist. Disk-backed sets are loaded on first access. A file that
+// fails validation — bad envelope, CRC mismatch, malformed payload —
+// is quarantined as *.corrupt and reported as a miss, never an error:
+// the caller recomputes and the next Put writes a fresh file.
 func (s *Store) Get(ceil int) (*Labels, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -148,14 +172,40 @@ func (s *Store) Get(ceil int) (*Labels, bool) {
 	if err != nil {
 		return nil, false
 	}
-	l, err := unmarshalLabels(data)
+	payload := data
+	if durable.IsEnveloped(data) {
+		payload, err = durable.Open(data)
+		if err != nil {
+			s.quarantine(ceil)
+			return nil, false
+		}
+	}
+	// Legacy pre-envelope files skip the branch above and are decoded
+	// raw; unmarshalLabels rejects anything structurally unsound.
+	l, err := unmarshalLabels(payload)
 	if err != nil {
+		s.quarantine(ceil)
 		return nil, false
 	}
 	if s.cache {
 		s.mem[ceil] = l
 	}
 	return l, true
+}
+
+// quarantine moves a corrupt label file aside; called with mu held.
+func (s *Store) quarantine(ceil int) {
+	if err := s.dio.Quarantine(s.path(ceil)); err == nil {
+		s.quarantined++
+	}
+}
+
+// Quarantined returns how many corrupt label files this store has
+// moved aside.
+func (s *Store) Quarantined() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }
 
 // Has reports whether labels exist for the given ⌈r⌉ without loading
@@ -204,6 +254,12 @@ func marshalLabels(l *Labels) []byte {
 	return buf
 }
 
+// unmarshalLabels decodes a label payload defensively: every count is
+// validated against the bytes actually present *before* it is
+// converted to int or used to allocate, so garbage input — including
+// counts with the top bit set, which would turn into negative ints
+// and panic the old slice arithmetic — yields an error, never a panic
+// or an allocation larger than the input itself.
 func unmarshalLabels(data []byte) (*Labels, error) {
 	if len(data) < 16 {
 		return nil, errors.New("labelstore: truncated header")
@@ -211,18 +267,26 @@ func unmarshalLabels(data []byte) (*Labels, error) {
 	if binary.LittleEndian.Uint64(data) != labelMagic {
 		return nil, errors.New("labelstore: bad magic")
 	}
-	n := int(binary.LittleEndian.Uint64(data[8:]))
+	n64 := binary.LittleEndian.Uint64(data[8:])
+	// Every row costs at least its 8-byte length header, so the input
+	// size bounds the row count exactly; this also caps the PerObject
+	// allocation at len(data)/8 entries.
+	if n64 > uint64(len(data)-16)/8 {
+		return nil, fmt.Errorf("labelstore: object count %d exceeds input", n64)
+	}
+	n := int(n64)
 	pos := 16
 	l := &Labels{PerObject: make([][]uint8, n)}
 	for i := 0; i < n; i++ {
 		if pos+8 > len(data) {
 			return nil, errors.New("labelstore: truncated row header")
 		}
-		m := int(binary.LittleEndian.Uint64(data[pos:]))
+		m64 := binary.LittleEndian.Uint64(data[pos:])
 		pos += 8
-		if pos+m > len(data) {
+		if m64 > uint64(len(data)-pos) {
 			return nil, errors.New("labelstore: truncated row")
 		}
+		m := int(m64)
 		l.PerObject[i] = append([]uint8(nil), data[pos:pos+m]...)
 		pos += m
 	}

@@ -2,6 +2,7 @@ package data
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mio/internal/durable"
 	"mio/internal/geom"
 )
 
@@ -282,34 +284,65 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 }
 
 // SaveFile writes ds to path, choosing the format by extension: ".txt"
-// for text, anything else binary. A failed Close is reported: on a
-// write path it can be the only signal that buffered data never
-// reached the disk.
-func SaveFile(path string, ds *Dataset) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
+// for text, anything else binary. Both paths commit atomically
+// (tmp+fsync+rename, see internal/durable): a crash mid-save can never
+// leave a truncated file under the final name. Binary files are
+// additionally wrapped in durable's checksummed envelope so corruption
+// is detected at load time; text files stay plain text for greppability
+// and load flagged unverified.
+func SaveFile(path string, ds *Dataset) error {
+	return SaveFileIO(path, ds, durable.IO{})
+}
+
+// SaveFileIO is SaveFile with an explicit durability context, so crash
+// tests can inject IO faults into the commit steps.
+func SaveFileIO(path string, ds *Dataset, dio durable.IO) error {
+	var buf bytes.Buffer
+	if strings.HasSuffix(path, ".txt") {
+		if err := WriteText(&buf, ds); err != nil {
+			return err
+		}
+		return dio.WriteFileAtomic(path, buf.Bytes())
+	}
+	if err := WriteBinary(&buf, ds); err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	if strings.HasSuffix(path, ".txt") {
-		return WriteText(f, ds)
-	}
-	return WriteBinary(f, ds)
+	return dio.CommitEnvelope(path, buf.Bytes())
 }
 
 // LoadFile reads a dataset from path, choosing the format by extension.
 func LoadFile(path string) (*Dataset, error) {
-	f, err := os.Open(path)
+	ds, _, err := LoadFileVerified(path)
+	return ds, err
+}
+
+// LoadFileVerified reads a dataset from path and additionally reports
+// whether its integrity was verified: true for envelope-wrapped files
+// (magic, version, length and CRC-32 all checked), false for legacy
+// text and pre-envelope binary files, which still load for
+// compatibility but carry no corruption protection. An envelope that
+// fails validation is an error wrapping durable.ErrCorrupt — the file
+// claims to be protected, so a checksum mismatch must never be served.
+func LoadFileVerified(path string) (*Dataset, bool, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	defer f.Close()
+	if durable.IsEnveloped(raw) {
+		payload, err := durable.Open(raw)
+		if err != nil {
+			return nil, false, fmt.Errorf("data: %s: %w", path, err)
+		}
+		ds, err := ReadBinary(bytes.NewReader(payload))
+		if err != nil {
+			return nil, false, err
+		}
+		return ds, true, nil
+	}
 	if strings.HasSuffix(path, ".txt") {
-		return ReadText(f)
+		ds, err := ReadText(bytes.NewReader(raw))
+		return ds, false, err
 	}
-	return ReadBinary(f)
+	ds, err := ReadBinary(bytes.NewReader(raw))
+	return ds, false, err
 }

@@ -1,0 +1,117 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mio/internal/durable"
+	"mio/internal/fault"
+)
+
+// TestSaveFileAtomicUnderCrash is the satellite regression: a
+// kill-injected partial write must never replace a valid previous
+// file, for the bare text path and the binary path alike.
+func TestSaveFileAtomicUnderCrash(t *testing.T) {
+	old := GenUniform(UniformConfig{N: 10, M: 4, FieldSize: 40, Spread: 3, Seed: 1})
+	next := GenUniform(UniformConfig{N: 30, M: 4, FieldSize: 40, Spread: 3, Seed: 2})
+	kinds := []struct {
+		point string
+		kind  fault.Kind
+	}{
+		{fault.PointIOWrite, fault.KindShortWrite},
+		{fault.PointIOSync, fault.KindCrash},
+		{fault.PointIORename, fault.KindCrash},
+		{fault.PointIORename, fault.KindError},
+	}
+	for _, name := range []string{"ds.bin", "ds.txt"} {
+		for _, tc := range kinds {
+			t.Run(name+"/"+tc.point+"/"+tc.kind.String(), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), name)
+				if err := SaveFile(path, old); err != nil {
+					t.Fatal(err)
+				}
+				reg := fault.New(1)
+				reg.Arm(fault.Rule{Point: tc.point, Kind: tc.kind, P: 1})
+				if err := SaveFileIO(path, next, durable.IO{Faults: reg}); !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("injected save returned %v", err)
+				}
+				got, verified, err := LoadFileVerified(path)
+				if err != nil {
+					t.Fatalf("previous file no longer loads: %v", err)
+				}
+				if got.N() != old.N() {
+					t.Fatalf("previous file replaced: %d objects, want %d", got.N(), old.N())
+				}
+				if name == "ds.bin" && !verified {
+					t.Error("binary previous file lost its envelope")
+				}
+			})
+		}
+	}
+}
+
+func TestLoadFileVerifiedFlags(t *testing.T) {
+	ds := GenUniform(UniformConfig{N: 8, M: 3, FieldSize: 30, Spread: 2, Seed: 5})
+	dir := t.TempDir()
+
+	// New-format binary: enveloped, verified.
+	bin := filepath.Join(dir, "new.bin")
+	if err := SaveFile(bin, ds); err != nil {
+		t.Fatal(err)
+	}
+	if got, verified, err := LoadFileVerified(bin); err != nil || !verified || got.N() != ds.N() {
+		t.Fatalf("enveloped binary: n=%v verified=%v err=%v", got.N(), verified, err)
+	}
+
+	// Legacy binary (raw WriteBinary, the pre-envelope format): loads,
+	// but flagged unverified.
+	legacy := filepath.Join(dir, "legacy.bin")
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, verified, err := LoadFileVerified(legacy); err != nil || verified || got.N() != ds.N() {
+		t.Fatalf("legacy binary: n=%v verified=%v err=%v, want unverified load", got.N(), verified, err)
+	}
+
+	// Text: loads unverified.
+	txt := filepath.Join(dir, "ds.txt")
+	if err := SaveFile(txt, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, verified, err := LoadFileVerified(txt); err != nil || verified {
+		t.Fatalf("text: verified=%v err=%v, want unverified load", verified, err)
+	}
+}
+
+// TestLoadFileRejectsCorruptEnvelope: a file that claims envelope
+// protection and fails it must error (wrapping durable.ErrCorrupt),
+// never fall back to an unverified decode of garbage.
+func TestLoadFileRejectsCorruptEnvelope(t *testing.T) {
+	ds := GenUniform(UniformConfig{N: 8, M: 3, FieldSize: 30, Spread: 2, Seed: 5})
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte deep in the point data.
+	raw[len(raw)-9] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFileVerified(path); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("bit-flipped file loaded: err=%v, want ErrCorrupt", err)
+	}
+	if _, err := LoadFile(path); !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("LoadFile on bit-flipped file: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mio/internal/fault"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	var dio IO
+	if err := dio.WriteFileAtomic(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite commits too.
+	if err := dio.WriteFileAtomic(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "world" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("tmp file survived a successful commit")
+	}
+}
+
+// TestCrashNeverReplacesPreviousFile is the satellite regression: for
+// every injected IO misbehaviour, the valid previous file stays intact
+// under the final name.
+func TestCrashNeverReplacesPreviousFile(t *testing.T) {
+	cases := []struct {
+		point string
+		kind  fault.Kind
+	}{
+		{fault.PointIOWrite, fault.KindShortWrite},
+		{fault.PointIOWrite, fault.KindCrash},
+		{fault.PointIOWrite, fault.KindError},
+		{fault.PointIOSync, fault.KindError},
+		{fault.PointIOSync, fault.KindCrash},
+		{fault.PointIORename, fault.KindError},
+		{fault.PointIORename, fault.KindCrash},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point+"/"+tc.kind.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "f.bin")
+			if err := (IO{}).WriteFileAtomic(path, []byte("previous")); err != nil {
+				t.Fatal(err)
+			}
+			reg := fault.New(1)
+			reg.Arm(fault.Rule{Point: tc.point, Kind: tc.kind, P: 1})
+			dio := IO{Faults: reg}
+			err := dio.WriteFileAtomic(path, []byte("next-value"))
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("injected commit returned %v", err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "previous" {
+				t.Fatalf("previous file damaged: %q, %v", got, rerr)
+			}
+			// A crash-left tmp must never hold a full new payload
+			// under the final name; under the tmp name a prefix is
+			// legal (that is exactly what a kill leaves).
+			if tmp, err := os.ReadFile(path + ".tmp"); err == nil {
+				if tc.kind == fault.KindShortWrite && len(tmp) >= len("next-value") {
+					t.Errorf("short write persisted the full payload: %q", tmp)
+				}
+			}
+		})
+	}
+}
+
+func TestCrashAfterRenameIsCommitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	reg := fault.New(1)
+	reg.Arm(fault.Rule{Point: fault.PointIODirSync, Kind: fault.KindCrash, P: 1})
+	err := IO{Faults: reg}.WriteFileAtomic(path, []byte("v2"))
+	if !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("err = %v", err)
+	}
+	// The rename happened before the crash point: the new content is
+	// visible, which recovery must treat as a committed write.
+	if got, err := os.ReadFile(path); err != nil || string(got) != "v2" {
+		t.Fatalf("post-rename crash lost the committed file: %q, %v", got, err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var dio IO
+	if err := dio.Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("quarantined file still present under original name")
+	}
+	if got, err := os.ReadFile(path + CorruptSuffix); err != nil || string(got) != "junk" {
+		t.Errorf("quarantined bytes not preserved: %q, %v", got, err)
+	}
+	// A second corrupt file with the same name gets a numbered slot.
+	if err := os.WriteFile(path, []byte("junk2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dio.Quarantine(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(path + CorruptSuffix + ".1"); err != nil || string(got) != "junk2" {
+		t.Errorf("second quarantine: %q, %v", got, err)
+	}
+	// Quarantining a missing path is a no-op, not an error.
+	if err := dio.Quarantine(filepath.Join(dir, "gone")); err != nil {
+		t.Errorf("quarantine of missing path: %v", err)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		sealed := Seal(payload)
+		if !IsEnveloped(sealed) {
+			t.Fatal("sealed data not recognised")
+		}
+		got, err := Open(sealed)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mutated: %d bytes vs %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	sealed := Seal([]byte("the payload under test"))
+	// Every single-bit flip anywhere in the record must be detected.
+	for i := 0; i < len(sealed); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), sealed...)
+			mut[i] ^= 1 << bit
+			if _, err := Open(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+	// Truncation at every length must be detected.
+	for n := 0; n < len(sealed); n++ {
+		if _, err := Open(sealed[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	// Trailing garbage too.
+	if _, err := Open(append(append([]byte(nil), sealed...), 0)); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+	// Non-enveloped data is distinguished from corruption.
+	if _, err := Open([]byte("MIODATA1 something legacy")); !errors.Is(err, ErrNotEnveloped) {
+		t.Errorf("legacy prefix: %v, want ErrNotEnveloped", err)
+	}
+}
+
+func TestReadEnvelopeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.bin")
+	if err := (IO{}).CommitEnvelope(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEnvelopeFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if _, err := ReadEnvelopeFile(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+		t.Errorf("missing file: %v, want IsNotExist", err)
+	}
+	if err := os.WriteFile(path, []byte("not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelopeFile(path); !errors.Is(err, ErrNotEnveloped) {
+		t.Errorf("legacy file: %v", err)
+	}
+}
+
+// FuzzDurableEnvelope: decoding arbitrary bytes never panics, a valid
+// seal always opens to the same payload, and any mutation of a sealed
+// record fails validation.
+func FuzzDurableEnvelope(f *testing.F) {
+	f.Add([]byte("seed payload"), uint16(0), uint8(0))
+	f.Add([]byte{}, uint16(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{0x5A}, 300), uint16(299), uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, flipAt uint16, flipBit uint8) {
+		// Arbitrary input: must not panic, and non-magic input must
+		// report ErrNotEnveloped.
+		if _, err := Open(payload); err == nil {
+			if !IsEnveloped(payload) {
+				t.Fatal("Open accepted data without the magic")
+			}
+		}
+		sealed := Seal(payload)
+		got, err := Open(sealed)
+		if err != nil {
+			t.Fatalf("fresh seal failed to open: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("round trip mutated payload")
+		}
+		i := int(flipAt) % len(sealed)
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 1 << (flipBit % 8)
+		if _, err := Open(mut); err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	})
+}
+
+// TestWriteFileAtomicNonRegularTarget pins the write-through rule:
+// committing to a device node must not rename a regular file over it
+// (which would silently destroy the device — /dev/full would stop
+// returning ENOSPC forever after) and must not leave a *.tmp sibling.
+func TestWriteFileAtomicNonRegularTarget(t *testing.T) {
+	fi, err := os.Lstat(os.DevNull)
+	if err != nil || fi.Mode().IsRegular() {
+		t.Skipf("no usable %s device", os.DevNull)
+	}
+	if err := (IO{}).WriteFileAtomic(os.DevNull, []byte("discard me")); err != nil {
+		t.Fatalf("write through %s: %v", os.DevNull, err)
+	}
+	after, err := os.Lstat(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Mode().IsRegular() {
+		t.Fatalf("%s was replaced by a regular file: rename-over-device", os.DevNull)
+	}
+	if _, err := os.Lstat(os.DevNull + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp sibling left beside device target: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The record envelope wraps a payload so corruption is detected at
+// read time. Layout (little-endian):
+//
+//	offset  size  field
+//	     0     8  magic "MIODURB1"
+//	     8     4  format version (currently 1)
+//	    12     4  CRC-32 (IEEE) of the payload
+//	    16     8  payload length in bytes
+//	    24     …  payload
+//
+// The length must match the enclosing file exactly: a truncated file
+// fails the length check before the CRC is even computed, and trailing
+// garbage (e.g. a torn overwrite) is equally rejected.
+const (
+	envMagic   = uint64(0x4d494f4455524231) // "MIODURB1"
+	envVersion = uint32(1)
+	// EnvelopeOverhead is the number of header bytes Seal prepends.
+	EnvelopeOverhead = 24
+)
+
+// Envelope validation errors, distinguishable with errors.Is.
+var (
+	// ErrNotEnveloped means the data does not start with the envelope
+	// magic — it may be a legacy file written before the durability
+	// layer existed, which callers can fall back to loading unverified.
+	ErrNotEnveloped = errors.New("durable: no envelope magic")
+	// ErrCorrupt means the data claims to be an envelope but fails
+	// validation: bad version, wrong length, or CRC mismatch.
+	ErrCorrupt = errors.New("durable: corrupt envelope")
+)
+
+// Seal wraps payload in a checksummed envelope.
+func Seal(payload []byte) []byte {
+	out := make([]byte, EnvelopeOverhead+len(payload))
+	binary.LittleEndian.PutUint64(out[0:], envMagic)
+	binary.LittleEndian.PutUint32(out[8:], envVersion)
+	binary.LittleEndian.PutUint32(out[12:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(payload)))
+	copy(out[EnvelopeOverhead:], payload)
+	return out
+}
+
+// Open validates data as a sealed envelope and returns the payload
+// (aliasing data's backing array). A non-envelope prefix yields
+// ErrNotEnveloped; anything that starts like an envelope but fails
+// validation yields an error wrapping ErrCorrupt. Open never panics
+// and never allocates proportionally to a claimed length: the length
+// field is checked against len(data) before any use.
+func Open(data []byte) ([]byte, error) {
+	if len(data) < 8 || binary.LittleEndian.Uint64(data) != envMagic {
+		return nil, ErrNotEnveloped
+	}
+	if len(data) < EnvelopeOverhead {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v == 0 || v > envVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	n := binary.LittleEndian.Uint64(data[16:])
+	if n != uint64(len(data)-EnvelopeOverhead) {
+		return nil, fmt.Errorf("%w: payload length %d, file holds %d", ErrCorrupt, n, len(data)-EnvelopeOverhead)
+	}
+	payload := data[EnvelopeOverhead:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[12:]); got != want {
+		return nil, fmt.Errorf("%w: CRC %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// IsEnveloped reports whether data begins with the envelope magic —
+// the cheap test LoadFile-style callers use to route between verified
+// and legacy decoding.
+func IsEnveloped(data []byte) bool {
+	return len(data) >= 8 && binary.LittleEndian.Uint64(data) == envMagic
+}
+
+// CommitEnvelope seals payload and commits it atomically to path.
+func (d IO) CommitEnvelope(path string, payload []byte) error {
+	return d.WriteFileAtomic(path, Seal(payload))
+}
+
+// ReadEnvelopeFile reads path and returns its verified payload. The
+// error distinguishes missing files (os.IsNotExist), legacy
+// non-enveloped files (ErrNotEnveloped) and corruption (ErrCorrupt);
+// quarantining on corruption is the caller's decision.
+func ReadEnvelopeFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}

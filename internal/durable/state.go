@@ -1,0 +1,259 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mio/internal/fault"
+)
+
+// A Dir is a generation-numbered snapshot directory:
+//
+//	root/
+//	  MANIFEST            enveloped JSON naming the last-good generation
+//	  gen-000001/         a committed generation (complete by construction)
+//	  gen-000002.stage/   an in-progress commit (ignored by recovery)
+//	  gen-000001.corrupt/ a quarantined generation (ignored by recovery)
+//
+// The commit protocol makes a multi-file generation atomic: files are
+// committed one by one into a *.stage directory (each via the
+// enveloped atomic write), the directory is renamed to its final
+// gen-N name, and only then is MANIFEST rewritten to point at N. A
+// crash before the MANIFEST write leaves the old manifest naming the
+// old generation; a crash after it leaves the new generation fully
+// committed. There is no instant at which a reader following the
+// protocol can observe a partial generation.
+type Dir struct {
+	IO
+	root string
+}
+
+// OpenDir opens (creating if needed) a snapshot directory rooted at
+// root.
+func OpenDir(root string, dio IO) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &Dir{IO: dio, root: root}, nil
+}
+
+// Root returns the directory the generations live under.
+func (d *Dir) Root() string { return d.root }
+
+// GenPath returns the directory of a committed generation.
+func (d *Dir) GenPath(gen uint64) string {
+	return filepath.Join(d.root, fmt.Sprintf("gen-%06d", gen))
+}
+
+func (d *Dir) manifestPath() string { return filepath.Join(d.root, "MANIFEST") }
+
+// manifest is the MANIFEST payload (enveloped JSON).
+type manifest struct {
+	Generation uint64 `json:"generation"`
+}
+
+// Manifest returns the last-good generation recorded in a valid
+// MANIFEST, or ok=false when none exists. A MANIFEST that exists but
+// fails validation is quarantined (it is useless: trusting it could
+// resurrect a torn write) and reported as absent.
+func (d *Dir) Manifest() (gen uint64, ok bool, err error) {
+	payload, err := ReadEnvelopeFile(d.manifestPath())
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		if qerr := d.Quarantine(d.manifestPath()); qerr != nil {
+			return 0, false, qerr
+		}
+		return 0, false, nil
+	}
+	var m manifest
+	if jerr := json.Unmarshal(payload, &m); jerr != nil {
+		if qerr := d.Quarantine(d.manifestPath()); qerr != nil {
+			return 0, false, qerr
+		}
+		return 0, false, nil
+	}
+	return m.Generation, true, nil
+}
+
+// SetManifest atomically records gen as the last-good generation.
+func (d *Dir) SetManifest(gen uint64) error {
+	payload, err := json.Marshal(manifest{Generation: gen})
+	if err != nil {
+		return err
+	}
+	return d.CommitEnvelope(d.manifestPath(), payload)
+}
+
+// parseGen extracts N from a committed generation directory name
+// ("gen-000123"), rejecting staging, corrupt and foreign entries.
+func parseGen(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, "gen-")
+	if !found || strings.Contains(rest, ".") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Generations lists the committed generation numbers, newest first.
+// Staging (*.stage) and quarantined (*.corrupt) directories are
+// excluded: the former were never committed, the latter failed
+// validation.
+func (d *Dir) Generations() ([]uint64, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := parseGen(e.Name()); ok {
+			gens = append(gens, n)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// Candidates returns the generations recovery should try, best first:
+// the manifest's generation if it names an existing directory, then
+// every other committed generation newest-first. Callers validate each
+// candidate's contents and call QuarantineGen on failures before
+// moving to the next.
+func (d *Dir) Candidates() ([]uint64, error) {
+	gens, err := d.Generations()
+	if err != nil {
+		return nil, err
+	}
+	mGen, ok, err := d.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return gens, nil
+	}
+	out := make([]uint64, 0, len(gens))
+	found := false
+	for _, g := range gens {
+		if g == mGen {
+			found = true
+		}
+	}
+	if found {
+		out = append(out, mGen)
+	}
+	for _, g := range gens {
+		if g != mGen {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// QuarantineGen moves a generation directory aside as gen-N.corrupt
+// so recovery skips it from now on.
+func (d *Dir) QuarantineGen(gen uint64) error {
+	return d.Quarantine(d.GenPath(gen))
+}
+
+// Staging is an in-progress generation commit.
+type Staging struct {
+	d   *Dir
+	gen uint64
+	dir string
+}
+
+// Begin opens a staging directory for the next generation: one past
+// the largest generation visible on disk or named by the manifest, so
+// a crash-orphaned generation directory can never collide with a
+// later commit.
+func (d *Dir) Begin() (*Staging, error) {
+	gens, err := d.Generations()
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(gens) > 0 && gens[0]+1 > next {
+		next = gens[0] + 1
+	}
+	if mGen, ok, err := d.Manifest(); err != nil {
+		return nil, err
+	} else if ok && mGen+1 > next {
+		next = mGen + 1
+	}
+	dir := d.GenPath(next) + ".stage"
+	// A leftover stage with this number means an earlier Begin crashed
+	// before renaming; its contents were never committed, so clearing
+	// it is safe.
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &Staging{d: d, gen: next, dir: dir}, nil
+}
+
+// Gen returns the generation number this staging will commit as.
+func (s *Staging) Gen() uint64 { return s.gen }
+
+// Dir returns the staging directory files are written into.
+func (s *Staging) Dir() string { return s.dir }
+
+// CommitFile seals payload and commits it atomically as name inside
+// the staging directory.
+func (s *Staging) CommitFile(name string, payload []byte) error {
+	return s.d.CommitEnvelope(filepath.Join(s.dir, name), payload)
+}
+
+// Commit publishes the staged generation: rename the staging
+// directory to its final gen-N name, sync the root so the rename is
+// durable, and rewrite MANIFEST to point at N. On any error the
+// snapshot directory is still consistent — either the old manifest
+// still names the old generation, or (if only the manifest write
+// failed after the rename) the new generation sits complete on disk
+// awaiting a future manifest. Returns the committed generation path.
+func (s *Staging) Commit() (string, error) {
+	final := s.d.GenPath(s.gen)
+	if ferr := s.d.Faults.Fire(fault.PointIORename); ferr != nil {
+		if !errors.Is(ferr, fault.ErrCrash) {
+			s.Abandon()
+		}
+		return "", ferr
+	}
+	//lint:ignore fsync the staged files were each fsync'd by CommitFile; only the directory entry moves here
+	if err := os.Rename(s.dir, final); err != nil {
+		s.Abandon()
+		return "", fmt.Errorf("durable: commit generation %d: %w", s.gen, err)
+	}
+	if ferr := s.d.Faults.Fire(fault.PointIODirSync); ferr != nil {
+		// Renamed but possibly not durable; recovery handles both the
+		// published and unpublished outcome, so just report.
+		return "", ferr
+	}
+	if err := s.d.SyncDir(s.d.root); err != nil {
+		return "", err
+	}
+	if err := s.d.SetManifest(s.gen); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// Abandon removes the staging directory; safe after a failed Commit.
+func (s *Staging) Abandon() {
+	_ = os.RemoveAll(s.dir)
+}

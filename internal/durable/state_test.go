@@ -1,0 +1,261 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mio/internal/fault"
+)
+
+func TestGenerationCommitAndManifest(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), IO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Manifest(); err != nil || ok {
+		t.Fatalf("fresh dir manifest = ok=%v err=%v", ok, err)
+	}
+
+	stg, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stg.Gen() != 1 {
+		t.Fatalf("first generation = %d", stg.Gen())
+	}
+	if err := stg.CommitFile("dataset.bin", []byte("ds-v1")); err != nil {
+		t.Fatal(err)
+	}
+	final, err := stg.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != d.GenPath(1) {
+		t.Fatalf("committed path %q", final)
+	}
+	if gen, ok, _ := d.Manifest(); !ok || gen != 1 {
+		t.Fatalf("manifest after commit = %d, %v", gen, ok)
+	}
+	if got, err := ReadEnvelopeFile(filepath.Join(final, "dataset.bin")); err != nil || string(got) != "ds-v1" {
+		t.Fatalf("generation file: %q, %v", got, err)
+	}
+
+	// Second generation stacks on top.
+	stg2, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stg2.Gen() != 2 {
+		t.Fatalf("second generation = %d", stg2.Gen())
+	}
+	if err := stg2.CommitFile("dataset.bin", []byte("ds-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := d.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{2, 1}) {
+		t.Fatalf("generations = %v", gens)
+	}
+	if cands, _ := d.Candidates(); !reflect.DeepEqual(cands, []uint64{2, 1}) {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestCandidatesPreferManifestAndSkipStageCorrupt(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(root, IO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stg, err := d.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stg.CommitFile("f", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stg.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Roll the manifest back to 2: candidates must lead with 2.
+	if err := d.SetManifest(2); err != nil {
+		t.Fatal(err)
+	}
+	// Plant noise that recovery must ignore.
+	if err := os.MkdirAll(filepath.Join(root, "gen-000009.stage"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.QuarantineGen(1); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := d.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cands, []uint64{2, 3}) {
+		t.Fatalf("candidates = %v, want [2 3]", cands)
+	}
+	// The next Begin must not collide with the orphan stage number's
+	// committed cousins: it numbers past every committed generation.
+	stg, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stg.Gen() != 4 {
+		t.Fatalf("next generation = %d, want 4", stg.Gen())
+	}
+	stg.Abandon()
+}
+
+func TestCorruptManifestIsQuarantined(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), IO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stg, _ := d.Begin()
+	if err := stg.CommitFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stg.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the MANIFEST.
+	mpath := filepath.Join(d.Root(), "MANIFEST")
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(mpath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.Manifest(); err != nil || ok {
+		t.Fatalf("corrupt manifest = ok=%v err=%v, want absent", ok, err)
+	}
+	if _, err := os.Stat(mpath + CorruptSuffix); err != nil {
+		t.Errorf("corrupt manifest not quarantined: %v", err)
+	}
+	// Recovery falls back to scanning generations.
+	if cands, _ := d.Candidates(); !reflect.DeepEqual(cands, []uint64{1}) {
+		t.Errorf("candidates after manifest loss = %v", cands)
+	}
+}
+
+// TestGenerationCommitCrashPoints drives one injected crash through
+// each step of a generation commit and checks the invariant: the
+// snapshot directory recovers to a complete generation, never a
+// partial one.
+func TestGenerationCommitCrashPoints(t *testing.T) {
+	type step struct {
+		name string
+		rule fault.Rule
+		// wantNew reports whether the crash lands after the publish
+		// point, i.e. a reopened dir must see generation 2.
+		wantNew bool
+	}
+	steps := []step{
+		{"shortwrite-dataset", fault.Rule{Point: fault.PointIOWrite, Kind: fault.KindShortWrite, P: 1}, false},
+		{"crash-dataset-sync", fault.Rule{Point: fault.PointIOSync, Kind: fault.KindCrash, P: 1}, false},
+		{"error-dataset-rename", fault.Rule{Point: fault.PointIORename, Kind: fault.KindError, P: 1}, false},
+		// After=1 skips the dataset file's rename draw: the crash hits
+		// the staging-directory rename instead.
+		{"crash-stage-rename", fault.Rule{Point: fault.PointIORename, Kind: fault.KindCrash, P: 1, After: 1}, false},
+		// After=2 lands on the MANIFEST file's rename: the generation
+		// directory is already published, only the manifest lags.
+		{"crash-manifest-rename", fault.Rule{Point: fault.PointIORename, Kind: fault.KindCrash, P: 1, After: 2}, false},
+		// Crash on the final dirsync after the manifest rename: fully
+		// committed.
+		{"crash-after-manifest", fault.Rule{Point: fault.PointIODirSync, Kind: fault.KindCrash, P: 1, After: 2}, true},
+	}
+	for _, tc := range steps {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			d, err := OpenDir(root, IO{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stg, _ := d.Begin()
+			if err := stg.CommitFile("dataset.bin", []byte("gen1")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := stg.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			reg := fault.New(1)
+			reg.Arm(tc.rule)
+			faulty := &Dir{IO: IO{Faults: reg}, root: root}
+			stg2, err := faulty.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			werr := stg2.CommitFile("dataset.bin", []byte("gen2"))
+			var cerr error
+			if werr == nil {
+				_, cerr = stg2.Commit()
+			}
+			if werr == nil && cerr == nil {
+				t.Fatal("injected commit reported success")
+			}
+
+			// "Restart": reopen fault-free and recover.
+			re, err := OpenDir(root, IO{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands, err := re.Candidates()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) == 0 {
+				t.Fatal("no generation survived")
+			}
+			best := cands[0]
+			want := uint64(1)
+			wantPayload := "gen1"
+			if tc.wantNew {
+				want, wantPayload = 2, "gen2"
+			}
+			if best != want {
+				t.Fatalf("recovered generation %d, want %d (candidates %v)", best, want, cands)
+			}
+			got, err := ReadEnvelopeFile(filepath.Join(re.GenPath(best), "dataset.bin"))
+			if err != nil || string(got) != wantPayload {
+				t.Fatalf("recovered payload %q, %v", got, err)
+			}
+			// Whatever the manifest says must be a committed generation.
+			if mGen, ok, _ := re.Manifest(); ok {
+				if _, err := os.Stat(re.GenPath(mGen)); err != nil {
+					t.Errorf("manifest names generation %d which does not exist", mGen)
+				}
+			}
+		})
+	}
+}
+
+func TestCommitErrorsWrapInjected(t *testing.T) {
+	reg := fault.New(1)
+	reg.Arm(fault.Rule{Point: fault.PointIOWrite, Kind: fault.KindError, P: 1})
+	d, err := OpenDir(t.TempDir(), IO{Faults: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stg, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stg.CommitFile("f", []byte("x")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	stg.Abandon()
+}

@@ -53,6 +53,17 @@ const (
 	PointLowerBounding = "engine.lower_bounding"
 	PointUpperBounding = "engine.upper_bounding"
 	PointVerification  = "engine.verification"
+
+	// PointIOWrite .. PointIODirSync fire inside internal/durable's
+	// atomic file commit, in commit order: while the payload is written
+	// to the *.tmp file, before the file Sync, before the rename onto
+	// the final name, and before the parent-directory sync. Together
+	// with KindShortWrite and KindCrash they model every place a real
+	// crash can interrupt a commit.
+	PointIOWrite   = "io.write"
+	PointIOSync    = "io.sync"
+	PointIORename  = "io.rename"
+	PointIODirSync = "io.dirsync"
 )
 
 // Kind is the misbehaviour a rule injects.
@@ -65,6 +76,14 @@ const (
 	KindError
 	// KindPanic panics with a Panic value naming the point.
 	KindPanic
+	// KindShortWrite makes Fire return an error wrapping ErrShortWrite:
+	// IO code interprets it as "the process died mid-write", persisting
+	// only a prefix of the payload and abandoning the commit.
+	KindShortWrite
+	// KindCrash makes Fire return an error wrapping ErrCrash: IO code
+	// interprets it as "the process died right here", returning without
+	// any cleanup so on-disk state is exactly what a kill would leave.
+	KindCrash
 )
 
 func (k Kind) String() string {
@@ -75,6 +94,10 @@ func (k Kind) String() string {
 		return "error"
 	case KindPanic:
 		return "panic"
+	case KindShortWrite:
+		return "shortwrite"
+	case KindCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -83,6 +106,16 @@ func (k Kind) String() string {
 // callers and tests can tell injected failures from organic ones with
 // errors.Is.
 var ErrInjected = errors.New("fault: injected error")
+
+// ErrShortWrite marks a KindShortWrite injection (also wraps
+// ErrInjected): the commit must behave as if the process died after
+// writing only part of the payload.
+var ErrShortWrite = errors.New("fault: injected short write")
+
+// ErrCrash marks a KindCrash injection (also wraps ErrInjected): the
+// commit must stop dead, leaving on-disk state untouched — no cleanup,
+// no rollback — exactly as a kill at that instant would.
+var ErrCrash = errors.New("fault: injected crash")
 
 // Panic is the value a KindPanic rule panics with; recovery layers can
 // type-assert it to distinguish injected panics from real bugs.
@@ -100,6 +133,15 @@ type Rule struct {
 	P float64
 	// Delay is the sleep for KindLatency rules.
 	Delay time.Duration
+	// After makes the rule ineligible for its first After draws: with
+	// P=1 the rule fires deterministically on exactly the (After+1)-th
+	// Fire at its point. Crash-matrix tests use this to walk one
+	// injected crash through every commit step of a multi-file
+	// operation.
+	After uint64
+
+	// seen counts draws made against this rule (eligible or not).
+	seen uint64
 }
 
 func (r Rule) String() string {
@@ -158,7 +200,13 @@ func (r *Registry) Fire(point string) error {
 	var sleep time.Duration
 	var err error
 	r.mu.Lock()
-	for _, rule := range r.rules[point] {
+	rules := r.rules[point]
+	for i := range rules {
+		rule := &rules[i]
+		rule.seen++
+		if rule.seen <= rule.After {
+			continue
+		}
 		if r.rng.Float64() >= rule.P {
 			continue
 		}
@@ -168,6 +216,10 @@ func (r *Registry) Fire(point string) error {
 			sleep += rule.Delay
 		case KindError:
 			err = fmt.Errorf("%w at %s", ErrInjected, point)
+		case KindShortWrite:
+			err = fmt.Errorf("%w: %w at %s", ErrInjected, ErrShortWrite, point)
+		case KindCrash:
+			err = fmt.Errorf("%w: %w at %s", ErrInjected, ErrCrash, point)
 		case KindPanic:
 			r.mu.Unlock()
 			panic(Panic{Point: point})
@@ -231,8 +283,8 @@ func (r *Registry) String() string {
 // Parse builds a registry from the -faults flag syntax: clauses
 // separated by ';', each either "seed=<int>" or
 // "<point>=<kind>:<probability>[:<duration>]" with kind one of
-// latency, error, panic. The duration is mandatory for latency rules
-// and rejected for the others.
+// latency, error, panic, shortwrite, crash. The duration is mandatory
+// for latency rules and rejected for the others.
 func Parse(spec string) (*Registry, error) {
 	seed := int64(1)
 	var rules []Rule
@@ -282,8 +334,12 @@ func parseRule(point, val string) (Rule, error) {
 		rule.Kind = KindError
 	case "panic":
 		rule.Kind = KindPanic
+	case "shortwrite":
+		rule.Kind = KindShortWrite
+	case "crash":
+		rule.Kind = KindCrash
 	default:
-		return Rule{}, fmt.Errorf("fault: %s: unknown kind %q (want latency, error or panic)", point, parts[0])
+		return Rule{}, fmt.Errorf("fault: %s: unknown kind %q (want latency, error, panic, shortwrite or crash)", point, parts[0])
 	}
 	p, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil || p < 0 || p > 1 {

@@ -164,3 +164,55 @@ func TestParse(t *testing.T) {
 		}
 	}
 }
+
+func TestIOKindsAndSentinels(t *testing.T) {
+	reg := New(3)
+	reg.Arm(Rule{Point: PointIOWrite, Kind: KindShortWrite, P: 1})
+	reg.Arm(Rule{Point: PointIORename, Kind: KindCrash, P: 1})
+
+	err := reg.Fire(PointIOWrite)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("shortwrite Fire = %v, want ErrInjected and ErrShortWrite", err)
+	}
+	if errors.Is(err, ErrCrash) {
+		t.Fatal("shortwrite error claims to be a crash")
+	}
+	err = reg.Fire(PointIORename)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrCrash) {
+		t.Fatalf("crash Fire = %v, want ErrInjected and ErrCrash", err)
+	}
+}
+
+// TestRuleAfterSkipsEarlyDraws pins the crash-matrix mechanism: a P=1
+// rule with After=n stays quiet for its first n draws and fires
+// deterministically on draw n+1 and every draw beyond.
+func TestRuleAfterSkipsEarlyDraws(t *testing.T) {
+	reg := New(1)
+	reg.Arm(Rule{Point: PointIOSync, Kind: KindError, P: 1, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := reg.Fire(PointIOSync); err != nil {
+			t.Fatalf("draw %d fired early: %v", i+1, err)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if err := reg.Fire(PointIOSync); err == nil {
+			t.Fatalf("draw %d did not fire", i+1)
+		}
+	}
+	if got := reg.Fired(PointIOSync); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestParseIOKinds(t *testing.T) {
+	reg, err := Parse("seed=9;io.sync=crash:1;io.write=shortwrite:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.String(); got != "io.sync=crash:1;io.write=shortwrite:0.5" {
+		t.Fatalf("String = %q", got)
+	}
+	if _, err := Parse("io.sync=crash:1:5ms"); err == nil {
+		t.Fatal("crash rule with a duration accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FsyncAnalyzer enforces the repository's durability protocol at the
+// syscall boundary (DESIGN.md §12). Two rules:
+//
+//  1. os.Rename without a preceding sync. A rename publishes a name;
+//     if the data behind it was never fsync'd, a power cut can commit
+//     the name while the blocks are garbage — the exact torn state the
+//     durable layer exists to prevent. Any earlier call in the same
+//     function whose callee name contains "sync" (f.Sync, SyncDir, a
+//     helper) or is one of the durable commit helpers
+//     (WriteFileAtomic, CommitEnvelope, CommitFile) satisfies the
+//     rule; renames that are legitimately sync-free (quarantining
+//     already-bad bytes, moving staged files whose contents were
+//     fsync'd elsewhere) carry a //lint:ignore fsync with the reason.
+//
+//  2. An unchecked (*os.File).Sync() call. Sync's error is the entire
+//     point of calling it — a failed fsync means the data is NOT
+//     durable and the commit must not proceed — so dropping it as a
+//     bare statement (or a defer) silently downgrades the protocol to
+//     hope. An explicit `_ =` discard is left to the errcheck
+//     conventions.
+//
+// Test files are exempt: tests rename files to simulate corruption and
+// torn state on purpose, and nothing in a _test.go file is load-bearing
+// for durability.
+func FsyncAnalyzer(pathRe *regexp.Regexp) *Analyzer {
+	if pathRe == nil {
+		pathRe = regexp.MustCompile(``) // durability ordering applies everywhere
+	}
+	a := &Analyzer{
+		Name: "fsync",
+		Doc:  "os.Rename without a preceding sync; unchecked (*os.File).Sync errors",
+	}
+	a.Run = func(p *Pass) {
+		if !pathRe.MatchString(p.Pkg.Path) {
+			return
+		}
+		walkFiles(p, func(f *ast.File) {
+			if strings.HasSuffix(p.Pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				return
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkRenameOrdering(p, fd)
+			}
+			checkUncheckedSync(p, f)
+		})
+	}
+	return a
+}
+
+// checkRenameOrdering flags os.Rename calls in fd that no sync-ish
+// call precedes. Ordering is by source position, which matches
+// execution order for the straight-line commit sequences this rule is
+// about; a sync on one branch satisfies a rename on another only if it
+// is written earlier, which is exactly the reviewable property the
+// protocol wants.
+func checkRenameOrdering(p *Pass, fd *ast.FuncDecl) {
+	var syncs []token.Pos
+	var renames []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgCall(p, call, "os", "Rename") {
+			renames = append(renames, call)
+			return true
+		}
+		if isSyncish(call) {
+			syncs = append(syncs, call.Pos())
+		}
+		return true
+	})
+	for _, call := range renames {
+		preceded := false
+		for _, s := range syncs {
+			if s < call.Pos() {
+				preceded = true
+				break
+			}
+		}
+		if !preceded {
+			p.Reportf(call.Pos(),
+				"os.Rename without a preceding sync in %s: a crash can publish the name before the data; fsync the file first or commit via durable.WriteFileAtomic",
+				fd.Name.Name)
+		}
+	}
+}
+
+// isSyncish reports whether call plausibly makes data durable before a
+// later rename: its bare callee name contains "sync", or it is one of
+// the durable commit helpers that sync internally.
+func isSyncish(call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if strings.Contains(strings.ToLower(name), "sync") {
+		return true
+	}
+	switch name {
+	case "WriteFileAtomic", "CommitEnvelope", "CommitFile":
+		return true
+	}
+	return false
+}
+
+// checkUncheckedSync flags (*os.File).Sync() calls whose error result
+// is dropped: bare expression statements and defers.
+func checkUncheckedSync(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		}
+		if call == nil || !isFileSync(p, call) {
+			return true
+		}
+		p.Reportf(call.Pos(), "Sync error is silently dropped: a failed fsync means the data is not durable, so the commit must stop")
+		return true
+	})
+}
+
+// isFileSync reports whether call is (*os.File).Sync().
+func isFileSync(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+// isPkgCall reports whether call is pkgPath.fn(...) via a direct
+// package selector.
+func isPkgCall(p *Pass, call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && obj.Imported().Path() == pkgPath
+}

@@ -80,6 +80,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ErrCheckAnalyzer(nil),
 		OptionsAnalyzer(nil),
 		RecoverAnalyzer(),
+		FsyncAnalyzer(nil),
 	}
 }
 

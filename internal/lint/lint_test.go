@@ -33,6 +33,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"errcheck", "errcheck.go", "fix/cmd/app", ErrCheckAnalyzer(nil)},
 		{"options", "options.go", "fix/examples/app", OptionsAnalyzer(nil)},
 		{"recover", "recover.go", "fix/recover", RecoverAnalyzer()},
+		{"fsync", "fsync.go", "fix/fsync", FsyncAnalyzer(nil)},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,66 @@
+// Fixture for the fsync analyzer: rename/sync ordering and unchecked
+// (*os.File).Sync errors.
+package fixture
+
+import "os"
+
+// publishUnsynced renames with no sync anywhere in the function: the
+// classic torn-publish bug.
+func publishUnsynced(tmp, final string) error {
+	return os.Rename(tmp, final) // want "os.Rename without a preceding sync"
+}
+
+// publishSynced follows the protocol: fsync, then rename.
+func publishSynced(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // preceded by f.Sync: fine
+}
+
+// syncTree stands in for a helper whose name advertises durability.
+func syncTree(path string) error { return nil }
+
+// publishViaHelper satisfies the rule through a sync-named helper.
+func publishViaHelper(tmp, final string) error {
+	if err := syncTree(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// renameBeforeSync has the steps in the wrong order: the sync after
+// the rename does not protect the published name.
+func renameBeforeSync(f *os.File, tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil { // want "os.Rename without a preceding sync"
+		return err
+	}
+	return f.Sync()
+}
+
+// quarantineMove demonstrates the sanctioned escape hatch for renames
+// that genuinely need no sync.
+func quarantineMove(path string) error {
+	//lint:ignore fsync moving already-bad bytes aside; a lost rename just re-quarantines later
+	return os.Rename(path, path+".corrupt")
+}
+
+// droppedSyncs lose the one error fsync exists to report.
+func droppedSyncs(f *os.File) error {
+	f.Sync()       // want "Sync error is silently dropped"
+	defer f.Sync() // want "Sync error is silently dropped"
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// notAFileSync: Sync methods on non-file types are out of scope.
+type flusher struct{}
+
+func (flusher) Sync() {}
+
+func otherSync() {
+	var fl flusher
+	fl.Sync()
+}

@@ -81,6 +81,16 @@ type Config struct {
 	// SwapBreakCooldown is how long a tripped swap breaker refuses
 	// requests before admitting a probe. 0 selects 5s.
 	SwapBreakCooldown time.Duration
+	// State, when non-nil, makes the served dataset durable: SwapDataset
+	// commits the replacement as a new generation (dataset enveloped and
+	// fsync'd, MANIFEST updated) before any engine serves it, and the
+	// per-generation label store becomes the pool's shared store. A
+	// failed durable commit fails the swap — and therefore counts
+	// against the swap circuit breaker — leaving the previous generation
+	// last-good; there is no path to serving a dataset that would not
+	// survive a crash. Callers that recover or commit at startup (see
+	// cmd/miosrv) pass the same DurableState here.
+	State *DurableState
 	// Faults, when non-nil, arms fault injection: the registry fires at
 	// the server's request/acquire/run/swap points and is handed to
 	// every engine the server builds (phase points), unless the engine
@@ -258,11 +268,13 @@ func (s *Server) Dataset() *data.Dataset { return s.ds.Load() }
 // Epoch returns the dataset generation; it increments on every swap.
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 
-// SwapDataset atomically replaces the served dataset: it builds a
-// fresh engine pool (with a fresh in-memory label store when labeling
-// is configured — labels are per-dataset and must not survive a
-// swap), waits for in-flight engine runs to finish, installs the new
-// engines, bumps the epoch and clears the result cache.
+// SwapDataset atomically replaces the served dataset: with durable
+// state configured it first commits ds as a new generation, then
+// builds a fresh engine pool (with a fresh label store — labels are
+// per-dataset and must not survive a swap; per-generation on disk
+// when durable, in-memory otherwise), waits for in-flight engine runs
+// to finish, installs the new engines, bumps the epoch and clears the
+// result cache.
 func (s *Server) SwapDataset(ds *data.Dataset) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
@@ -271,13 +283,40 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 		return fmt.Errorf("server: swap rejected: %w", err)
 	}
 	opts := s.opts
-	if opts.Labels != nil {
+	// Durability first: the new dataset must be committed as a
+	// generation before anything serves it, so a crash mid-swap
+	// recovers to either the old or the complete new dataset — never to
+	// a half-swapped state. A failed commit publishes nothing (the old
+	// MANIFEST still names the old generation) and fails the swap, which
+	// the caller reports to the swap breaker like any other failure.
+	var prevGen uint64
+	var prevOK bool
+	if s.cfg.State != nil {
+		var err error
+		if prevGen, prevOK, err = s.cfg.State.LastGood(); err != nil {
+			return fmt.Errorf("server: swap rejected: %w", err)
+		}
+		store, _, err := s.cfg.State.CommitDataset(ds)
+		if err != nil {
+			return fmt.Errorf("server: swap rejected: durable commit: %w", err)
+		}
+		if opts.Labels != nil {
+			opts.Labels = store
+		}
+	} else if opts.Labels != nil {
+		// Fresh in-memory store: labels are per-dataset and must not
+		// survive a swap.
 		opts.Labels = labelstore.NewStore()
 	}
 	engines := make([]*core.Engine, 0, cap(s.slots))
 	for i := 0; i < cap(s.slots); i++ {
 		e, err := core.NewEngine(ds, opts)
 		if err != nil {
+			// The generation is committed but cannot be served; keep the
+			// MANIFEST honest about what is actually running.
+			if s.cfg.State != nil {
+				s.cfg.State.rollbackManifest(prevGen, prevOK)
+			}
 			return fmt.Errorf("server: swap rejected: %w", err)
 		}
 		engines = append(engines, e)

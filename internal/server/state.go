@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/durable"
+)
+
+// DurableState is the server's crash-safe on-disk state: a
+// generation-numbered snapshot directory (internal/durable) where each
+// committed generation holds the enveloped dataset plus that dataset's
+// label files. The serving state machine is deliberately simple:
+//
+//	gen-N/dataset.bin   the dataset, checksummed (durable envelope)
+//	gen-N/labels/       the §III-D label store for that dataset
+//
+// Datasets and labels are committed together per generation because
+// labels are only meaningful for the dataset they were computed
+// against: recovering gen N brings back exactly the label sets its
+// queries produced, and a swap to gen N+1 starts with a fresh label
+// directory instead of poisoning queries with stale labels.
+//
+// Startup calls Recover to reopen the newest generation that passes
+// validation; SwapDataset calls CommitDataset so a replacement dataset
+// is durable before it is served. Either way, a crash at any instant
+// leaves the directory recoverable to a complete generation — the
+// commit protocol's guarantee, exercised end-to-end by the crash
+// matrix in state_test.go.
+type DurableState struct {
+	dir *durable.Dir
+	dio durable.IO
+}
+
+const (
+	stateDatasetFile = "dataset.bin"
+	stateLabelsDir   = "labels"
+)
+
+// OpenState opens (creating if needed) a durable state directory. The
+// IO context carries the fault registry, so chaos tests can inject
+// write/sync/rename failures into every commit the server makes.
+func OpenState(root string, dio durable.IO) (*DurableState, error) {
+	d, err := durable.OpenDir(root, dio)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableState{dir: d, dio: dio}, nil
+}
+
+// Root returns the state directory.
+func (st *DurableState) Root() string { return st.dir.Root() }
+
+// Recovered is the outcome of a successful Recover: the last-good
+// generation's dataset and its disk-backed label store.
+type Recovered struct {
+	Dataset    *data.Dataset
+	Labels     *labelstore.Store
+	Generation uint64
+}
+
+// Recover walks the candidate generations (manifest's choice first,
+// then newest-first) and returns the first whose dataset loads with
+// its integrity verified. Generations that fail — missing dataset,
+// bad envelope, CRC mismatch, undecodable payload — are quarantined
+// (renamed *.corrupt) and skipped, so one corrupt snapshot can never
+// wedge startup while an older good one exists. Returns (nil, nil)
+// when no generation has been committed yet.
+func (st *DurableState) Recover() (*Recovered, error) {
+	cands, err := st.dir.Candidates()
+	if err != nil {
+		return nil, err
+	}
+	for _, gen := range cands {
+		ds, verified, err := data.LoadFileVerified(filepath.Join(st.dir.GenPath(gen), stateDatasetFile))
+		if err != nil || !verified {
+			// The generation claims durability, so an unverified or
+			// unreadable dataset means the snapshot is damaged: move it
+			// aside and try the next candidate.
+			if qerr := st.dir.QuarantineGen(gen); qerr != nil {
+				return nil, qerr
+			}
+			continue
+		}
+		store, err := labelstore.NewDiskStoreIO(filepath.Join(st.dir.GenPath(gen), stateLabelsDir), st.dio)
+		if err != nil {
+			return nil, err
+		}
+		// If recovery fell past the manifest (it was absent, corrupt, or
+		// named a generation that failed validation), repoint it so the
+		// next startup goes straight to this generation.
+		if mGen, ok, err := st.dir.Manifest(); err != nil {
+			return nil, err
+		} else if !ok || mGen != gen {
+			if err := st.dir.SetManifest(gen); err != nil {
+				return nil, err
+			}
+		}
+		return &Recovered{Dataset: ds, Labels: store, Generation: gen}, nil
+	}
+	return nil, nil
+}
+
+// CommitDataset durably commits ds as a new generation and returns the
+// generation's (initially empty) disk-backed label store. The dataset
+// is fully on disk — enveloped, fsync'd, generation renamed into
+// place, MANIFEST updated — before this returns, so a caller that
+// serves ds afterwards knows a crash will recover to exactly this
+// state. On error nothing is published: the previous generation stays
+// last-good and the staging leftovers are invisible to recovery.
+func (st *DurableState) CommitDataset(ds *data.Dataset) (*labelstore.Store, uint64, error) {
+	var buf bytes.Buffer
+	if err := data.WriteBinary(&buf, ds); err != nil {
+		return nil, 0, err
+	}
+	stg, err := st.dir.Begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := stg.CommitFile(stateDatasetFile, buf.Bytes()); err != nil {
+		stg.Abandon()
+		return nil, 0, err
+	}
+	// The labels directory is created inside the stage so it is part of
+	// the atomic publish; it starts empty and fills as queries label.
+	if err := os.MkdirAll(filepath.Join(stg.Dir(), stateLabelsDir), 0o755); err != nil {
+		stg.Abandon()
+		return nil, 0, fmt.Errorf("server: staging labels dir: %w", err)
+	}
+	final, err := stg.Commit()
+	if err != nil {
+		return nil, 0, err
+	}
+	store, err := labelstore.NewDiskStoreIO(filepath.Join(final, stateLabelsDir), st.dio)
+	if err != nil {
+		return nil, 0, err
+	}
+	return store, stg.Gen(), nil
+}
+
+// LastGood returns the generation the MANIFEST currently names.
+func (st *DurableState) LastGood() (uint64, bool, error) {
+	return st.dir.Manifest()
+}
+
+// rollbackManifest best-effort repoints the MANIFEST at a previous
+// generation. Used when a durable commit succeeded but the serving
+// layer could not adopt the new dataset (engine build failure): the
+// manifest must keep naming what is actually served.
+func (st *DurableState) rollbackManifest(gen uint64, ok bool) {
+	if ok {
+		_ = st.dir.SetManifest(gen)
+	}
+}

@@ -3,37 +3,60 @@
 // library's go/parser and go/types, that enforce the conventions the
 // MIO pipeline's correctness depends on — squared-distance
 // comparisons, bitmap.Scratch epoch discipline, goroutine hygiene in
-// the §IV parallel phases, error handling in the I/O layers, and
-// exhaustive config literals in tests.
+// the §IV parallel phases, error handling in the I/O layers,
+// exhaustive config literals in tests, and (via the CFG + dataflow
+// engine) path-sensitive lock discipline, context threading, the
+// durable commit protocol, and fault-point spelling.
 //
 // Usage:
 //
 //	miolint ./...          # analyze the whole module
 //	miolint -list          # show the analyzers
+//	miolint -fixtures      # self-test: run every analyzer on its golden fixture
+//	miolint -format=json ./...
+//	miolint -format=github ./...   # ::error annotations for CI
 //	miolint -disable=options,errcheck ./...
 //
 // Suppress a single finding with a trailing or preceding comment:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// Exit status: 0 clean, 1 findings reported, 2 load/type errors.
+// Suppressions that stop matching any diagnostic are reported as
+// stale (disable with -disable, which turns the audit off).
+//
+// Exit status: 0 clean, 1 findings (or fixture failures) reported,
+// 2 load/type errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mio/internal/lint"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		disable = flag.String("disable", "", "comma-separated analyzers to skip")
-		noTests = flag.Bool("notests", false, "skip _test.go files")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		disable  = flag.String("disable", "", "comma-separated analyzers to skip (also disables the stale-suppression audit)")
+		noTests  = flag.Bool("notests", false, "skip _test.go files")
+		format   = flag.String("format", "text", "diagnostic output: text, json, or github (::error annotations)")
+		jsonFlag = flag.Bool("json", false, "shorthand for -format=json")
+		fixtures = flag.Bool("fixtures", false, "self-test: run every analyzer against its golden fixture and exit")
 	)
 	flag.Parse()
+	if *jsonFlag {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fatal(fmt.Sprintf("unknown -format %q (want text, json or github)", *format))
+	}
 
 	runner := lint.NewRunner()
 	if *list {
@@ -57,6 +80,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *fixtures {
+		selfTest(loader.ModuleDir())
+		return
+	}
+
 	loader.IncludeTests = !*noTests
 	pkgs, err := loader.LoadModule()
 	if err != nil {
@@ -75,13 +104,84 @@ func main() {
 	}
 
 	diags := runner.Run(pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
-	}
+	emit(*format, diags)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "miolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selfTest runs every analyzer against its golden fixture — the same
+// suite as `go test ./internal/lint -run TestAnalyzersGolden` — so CI
+// proves the analyzers find what they claim before trusting a clean
+// module run.
+func selfTest(moduleDir string) {
+	dir := filepath.Join(moduleDir, "internal", "lint", "testdata")
+	failed := 0
+	for _, fx := range lint.FixtureSuite() {
+		fails, err := lint.RunFixture(dir, fx)
+		if err != nil {
+			fatal(fmt.Sprintf("fixture %s: %v", fx.Name, err))
+		}
+		if len(fails) == 0 {
+			fmt.Printf("ok   %s\n", fx.Name)
+			continue
+		}
+		failed++
+		fmt.Printf("FAIL %s\n", fx.Name)
+		for _, f := range fails {
+			fmt.Printf("     %s\n", f)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "miolint: %d fixture(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emit(format string, diags []lint.Diagnostic) {
+	switch format {
+	case "json":
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	case "github":
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=miolint %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, ghEscape(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+}
+
+// ghEscape encodes the characters GitHub workflow commands treat as
+// structure, per the annotations syntax.
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 func fatal(v any) {

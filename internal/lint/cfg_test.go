@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func buildBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// TestCFGShapes pins the block/edge structure the builder produces
+// for every control construct the analyzers rely on. The dump format
+// is CFG.String: one block per line, [n] node count, -> successors.
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			"if-else",
+			`x()
+if c {
+	a()
+} else {
+	b()
+}
+y()`,
+			`b0 entry [2] -> b3 b4
+b1 defers -> b2
+b2 exit
+b3 if.then [1] -> b5
+b4 if.else [1] -> b5
+b5 if.after [1] -> b1
+`,
+		},
+		{
+			"if-return",
+			`if c {
+	return
+}
+y()`,
+			`b0 entry [1] -> b3 b4
+b1 defers -> b2
+b2 exit
+b3 if.then [1] -> b1
+b4 if.after [1] -> b1
+`,
+		},
+		{
+			"for-break-continue",
+			`for i := 0; c; i++ {
+	if d {
+		break
+	}
+	if e {
+		continue
+	}
+	a()
+}
+y()`,
+			`b0 entry [1] -> b3
+b1 defers -> b2
+b2 exit
+b3 for.head [1] -> b4 b6
+b4 for.body [1] -> b7 b8
+b5 for.post [1] -> b3
+b6 for.after [1] -> b1
+b7 if.then -> b6
+b8 if.after [1] -> b9 b10
+b9 if.then -> b5
+b10 if.after [1] -> b5
+`,
+		},
+		{
+			"range",
+			`for _, v := range xs {
+	a(v)
+}
+y()`,
+			`b0 entry [1] -> b3
+b1 defers -> b2
+b2 exit
+b3 range.head -> b4 b5
+b4 range.body [1] -> b3
+b5 range.after [1] -> b1
+`,
+		},
+		{
+			"switch-fallthrough-default",
+			`switch t := v; t {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+y()`,
+			`b0 entry [2] -> b4 b5 b6
+b1 defers -> b2
+b2 exit
+b3 switch.after [1] -> b1
+b4 case [2] -> b5
+b5 case [2] -> b3
+b6 default [1] -> b3
+`,
+		},
+		{
+			"select",
+			`select {
+case v := <-ch:
+	a(v)
+case ch2 <- 1:
+	b()
+}
+y()`,
+			`b0 entry -> b4 b5
+b1 defers -> b2
+b2 exit
+b3 select.after [1] -> b1
+b4 select.case [2] -> b3
+b5 select.case [2] -> b3
+`,
+		},
+		{
+			"defer-and-return-paths",
+			`mu.Lock()
+defer mu.Unlock()
+if c {
+	return
+}
+a()`,
+			`b0 entry [3] -> b3 b4
+b1 defers [1] -> b2
+b2 exit
+b3 if.then [1] -> b1
+b4 if.after [1] -> b1
+`,
+		},
+		{
+			"goto-label",
+			`i := 0
+loop:
+	if c {
+		goto done
+	}
+	i++
+	goto loop
+done:
+	y()`,
+			`b0 entry [1] -> b3
+b1 defers -> b2
+b2 exit
+b3 label.loop [1] -> b4 b6
+b4 if.then -> b5
+b5 label.done [1] -> b1
+b6 if.after [1] -> b3
+`,
+		},
+		{
+			"labeled-nested-loops",
+			`outer:
+	for a {
+		for b {
+			if c {
+				break outer
+			}
+			continue outer
+		}
+	}
+y()`,
+			`b0 entry -> b3
+b1 defers -> b2
+b2 exit
+b3 label.outer -> b4
+b4 for.head [1] -> b5 b6
+b5 for.body -> b7
+b6 for.after [1] -> b1
+b7 for.head [1] -> b8 b9
+b8 for.body [1] -> b10 b11
+b9 for.after -> b4
+b10 if.then -> b6
+b11 if.after -> b4
+`,
+		},
+		{
+			"panic-terminates",
+			`if c {
+	panic("x")
+}
+y()`,
+			`b0 entry [1] -> b3 b4
+b1 defers -> b2
+b2 exit
+b3 if.then [1] -> b1
+b4 if.after [1] -> b1
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildBody(t, tc.body)
+			if got := g.String(); got != tc.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefersLIFO pins the exit preamble: deferred calls appear in
+// reverse registration order, and a deferred func(){...}() literal is
+// inlined as its body.
+func TestCFGDefersLIFO(t *testing.T) {
+	g := buildBody(t, `defer a()
+defer func() {
+	b()
+}()
+x()`)
+	if len(g.Defers.Nodes) != 2 {
+		t.Fatalf("preamble has %d nodes, want 2", len(g.Defers.Nodes))
+	}
+	if _, ok := g.Defers.Nodes[0].(*ast.BlockStmt); !ok {
+		t.Errorf("first preamble node is %T, want the inlined closure body (*ast.BlockStmt)", g.Defers.Nodes[0])
+	}
+	if _, ok := g.Defers.Nodes[1].(*ast.CallExpr); !ok {
+		t.Errorf("second preamble node is %T, want the deferred call a()", g.Defers.Nodes[1])
+	}
+	if g.Defers.Nodes[0].Pos() < g.Defers.Nodes[1].Pos() {
+		t.Error("preamble not in LIFO order: the later defer must run first")
+	}
+}
+
+// adversarialNest is a loop nest with labeled continue, break and a
+// goto crossing loop levels — the shape that maximizes re-queueing in
+// the worklist.
+const adversarialNest = `outer:
+	for a {
+		for b {
+			if c {
+				continue outer
+			}
+			if d {
+				break
+			}
+			goto inner
+		inner:
+			x()
+		}
+		for e {
+			if g {
+				goto inner2
+			}
+		inner2:
+			y()
+		}
+	}
+z()`
+
+// TestForwardFixpointTerminates runs a monotone analysis (saturating
+// hop counter, join = max) over the adversarial nest and checks it
+// converges well inside the budget with a consistent fixpoint.
+func TestForwardFixpointTerminates(t *testing.T) {
+	g := buildBody(t, adversarialNest)
+	const cap = 5
+	steps := 0
+	in, ok := Forward(g, 0,
+		func(a, b int) int { return max(a, b) },
+		func(a, b int) bool { return a == b },
+		func(b *Block, f int) int { steps++; return min(f+1, cap) },
+	)
+	if !ok {
+		t.Fatal("monotone analysis did not converge")
+	}
+	if steps > 64*len(g.Blocks) {
+		t.Errorf("fixpoint took %d transfers over %d blocks: worklist is thrashing", steps, len(g.Blocks))
+	}
+	if _, reached := in[g.Exit]; !reached {
+		t.Fatal("exit unreachable in a function that falls off its end")
+	}
+	// Fixpoint consistency: every reachable block's IN is at least the
+	// join of its reachable predecessors' OUTs.
+	for _, b := range g.Blocks {
+		f, reached := in[b]
+		if !reached || b == g.Entry {
+			continue
+		}
+		for _, p := range b.Preds {
+			pf, pok := in[p]
+			if !pok {
+				continue
+			}
+			if out := min(pf+1, cap); f < out {
+				t.Errorf("b%d IN=%d < pred b%d OUT=%d: not a fixpoint", b.Index, f, p.Index, out)
+			}
+		}
+	}
+}
+
+// TestForwardBudgetBails feeds Forward a non-monotone transfer (an
+// unbounded counter) and checks the step budget trips instead of
+// hanging, reporting non-convergence.
+func TestForwardBudgetBails(t *testing.T) {
+	g := buildBody(t, `for a {
+	x()
+}`)
+	_, ok := Forward(g, 0,
+		func(a, b int) int { return max(a, b) },
+		func(a, b int) bool { return a == b },
+		func(b *Block, f int) int { return f + 1 }, // never saturates
+	)
+	if ok {
+		t.Fatal("non-monotone analysis reported convergence")
+	}
+}
+
+// TestCFGUnreachableAfterTerminator: code after a return opens an
+// unreachable block that the dataflow engine then never visits.
+func TestCFGUnreachableAfterTerminator(t *testing.T) {
+	g := buildBody(t, `return
+x()`)
+	var unreachable *Block
+	for _, b := range g.Blocks {
+		if b.Desc == "unreachable" {
+			unreachable = b
+		}
+	}
+	if unreachable == nil {
+		t.Fatal("no unreachable block for code after return")
+	}
+	in, ok := Forward(g, 0,
+		func(a, b int) int { return max(a, b) },
+		func(a, b int) bool { return a == b },
+		func(b *Block, f int) int { return f },
+	)
+	if !ok {
+		t.Fatal("trivial analysis did not converge")
+	}
+	if _, visited := in[unreachable]; visited {
+		t.Error("dataflow visited an unreachable block")
+	}
+	if !strings.Contains(g.String(), "unreachable") {
+		t.Error("dump does not mention the unreachable block")
+	}
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Context provenance bits. May-analysis: a bit says the value can
+// have that origin on at least one path.
+const (
+	ctxDerived uint8 = 1 << iota // threaded from the function's ctx parameter
+	ctxFresh                     // started from context.Background()/TODO()
+)
+
+// ctxFact maps context-typed variables to their possible provenance.
+type ctxFact map[types.Object]uint8
+
+func (f ctxFact) eq(g ctxFact) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if w, ok := g[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f ctxFact) clone() ctxFact {
+	g := make(ctxFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func joinCtx(a, b ctxFact) ctxFact {
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+// CtxFlowAnalyzer enforces context threading: a function that accepts
+// a context.Context must actually pass that context (or a context
+// derived from it) to its context-capable callees, on every path.
+// Three rules, all scoped to functions that have a ctx parameter —
+// functions without one (compatibility shims, main, tests) may start
+// contexts freely:
+//
+//  1. no laundering: calling context.Background() or context.TODO()
+//     inside such a function discards the caller's deadline and
+//     cancellation;
+//  2. no fresh handoff: passing a context-typed variable that may —
+//     on some path — hold a fresh Background/TODO context to a callee
+//     with a context parameter. This is the flow-sensitive version of
+//     rule 1: `use := ctx; if x { use = context.Background() }` is
+//     caught at the call site where the branches have merged;
+//  3. no context-dropping variants: calling a method M when the
+//     receiver also provides MContext taking a context.Context first —
+//     the non-Context variant silently substitutes Background.
+//
+// context.WithCancel/WithTimeout/WithValue propagate their parent's
+// provenance; unknown sources (req.Context(), a struct field) count
+// as derived, keeping the analyzer quiet where it cannot see.
+// Function literals are separate functions: a literal with its own
+// ctx parameter is checked against that parameter, one without is
+// exempt.
+func CtxFlowAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "ctx-taking functions must thread their ctx to every context-capable callee on every path",
+	}
+	a.Run = func(p *Pass) {
+		if p.Pkg.Name == "main" {
+			return
+		}
+		seen := map[string]bool{}
+		report := func(pos token.Pos, format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			key := fmt.Sprintf("%d:%s", pos, msg)
+			if !seen[key] {
+				seen[key] = true
+				p.Reportf(pos, "%s", msg)
+			}
+		}
+		walkFiles(p, func(f *ast.File) {
+			if strings.HasSuffix(p.Position(f.Pos()).Filename, "_test.go") {
+				return
+			}
+			forEachFuncBody(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+				params := ctxParams(p, ft)
+				if len(params) == 0 {
+					return
+				}
+				ctxFlowFunc(p, name, body, params, report)
+			})
+		})
+	}
+	return a
+}
+
+// ctxParams returns the context.Context-typed parameter objects of ft.
+func ctxParams(p *Pass, ft *ast.FuncType) []types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := p.Pkg.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func ctxFlowFunc(p *Pass, name string, body *ast.BlockStmt, params []types.Object, report func(pos token.Pos, format string, args ...any)) {
+	g := BuildCFG(body)
+	entry := ctxFact{}
+	for _, obj := range params {
+		entry[obj] = ctxDerived
+	}
+	reporting := false
+
+	transfer := func(b *Block, in ctxFact) ctxFact {
+		out := in
+		mutated := false
+		set := func(obj types.Object, st uint8) {
+			if !mutated {
+				out = out.clone()
+				mutated = true
+			}
+			out[obj] = st
+		}
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					return false
+				case *ast.AssignStmt:
+					ctxAssign(p, n, out, set)
+				case *ast.CallExpr:
+					ctxCall(p, n, name, out, reporting, report)
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	in, ok := Forward(g, entry, joinCtx, ctxFact.eq, transfer)
+	if !ok {
+		return
+	}
+	reporting = true
+	eachReachable(g, in, transfer)
+}
+
+// ctxAssign tracks `use := ctx`, `use = context.Background()`,
+// `ctx, cancel := context.WithTimeout(parent, d)` — any assignment to
+// a context-typed identifier.
+func ctxAssign(p *Pass, as *ast.AssignStmt, fact ctxFact, set func(types.Object, uint8)) {
+	rhs := func(i int) ast.Expr {
+		if len(as.Rhs) == 1 {
+			return as.Rhs[0] // tuple assignment: every lhs shares the call
+		}
+		if i < len(as.Rhs) {
+			return as.Rhs[i]
+		}
+		return nil
+	}
+	for i, l := range as.Lhs {
+		id, isIdent := l.(*ast.Ident)
+		if !isIdent {
+			continue
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id]
+		}
+		if obj == nil || !isContextType(obj.Type()) {
+			continue
+		}
+		if r := rhs(i); r != nil {
+			set(obj, ctxProvenance(p, fact, r))
+		}
+	}
+}
+
+// ctxCall applies rules 1–3 at one call site.
+func ctxCall(p *Pass, call *ast.CallExpr, fn string, fact ctxFact, reporting bool, report func(pos token.Pos, format string, args ...any)) {
+	if !reporting {
+		return
+	}
+	// Rule 1: laundering.
+	for _, src := range []string{"Background", "TODO"} {
+		if isPkgCall(p, call, "context", src) {
+			report(call.Pos(), "context.%s() inside %s, which already receives a context: thread the ctx parameter so deadlines and cancellation propagate", src, fn)
+			return
+		}
+	}
+	// Rule 2: passing a may-be-fresh context variable to a ctx-capable callee.
+	if sig := callSignature(p, call); sig != nil {
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			id, isIdent := call.Args[i].(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if st, tracked := fact[obj]; tracked && st&ctxFresh != 0 {
+				report(call.Args[i].Pos(), "%s may hold a fresh Background/TODO context on some path through %s: pass the ctx parameter (or a context derived from it)", id.Name, fn)
+			}
+		}
+		if hasCtxParam(sig) {
+			return // the callee takes a context; rule 3 is moot
+		}
+	}
+	// Rule 3: a ctx-dropping variant when a Context-taking one exists.
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	selection, has := p.Pkg.Info.Selections[sel]
+	if !has || selection.Kind() != types.MethodVal {
+		return
+	}
+	variant := sel.Sel.Name + "Context"
+	obj, _, _ := types.LookupFieldOrMethod(selection.Recv(), true, p.Pkg.Types, variant)
+	m, isFunc := obj.(*types.Func)
+	if !isFunc {
+		return
+	}
+	msig, isSig := m.Type().(*types.Signature)
+	if !isSig || msig.Params().Len() == 0 || !isContextType(msig.Params().At(0).Type()) {
+		return
+	}
+	report(call.Pos(), "%s drops the request context: call %s(ctx, ...) so cancellation reaches the work", sel.Sel.Name, variant)
+}
+
+// callSignature resolves the callee's *types.Signature, or nil for
+// conversions and untyped callees.
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func hasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxProvenance evaluates a context expression's origin against the
+// current fact: Background/TODO are fresh, context.With* propagate
+// their parent, tracked variables look up, everything else (fields,
+// method results like req.Context()) counts as derived.
+func ctxProvenance(p *Pass, fact ctxFact, e ast.Expr) uint8 {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ctxProvenance(p, fact, e.X)
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[e]; obj != nil {
+			if st, ok := fact[obj]; ok {
+				return st
+			}
+		}
+		return ctxDerived
+	case *ast.CallExpr:
+		if isPkgCall(p, e, "context", "Background") || isPkgCall(p, e, "context", "TODO") {
+			return ctxFresh
+		}
+		if sel, isSel := e.Fun.(*ast.SelectorExpr); isSel && len(e.Args) > 0 {
+			if id, isIdent := sel.X.(*ast.Ident); isIdent {
+				if pn, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName); isPkg && pn.Imported().Path() == "context" {
+					return ctxProvenance(p, fact, e.Args[0])
+				}
+			}
+		}
+	}
+	return ctxDerived
+}

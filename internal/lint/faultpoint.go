@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultPointAnalyzer cross-checks every fault-injection point name
+// referenced in source against the registered set — the exported
+// Point* string constants of the fault package. A misspelled point
+// arms a rule nothing ever fires, silently making chaos tests
+// vacuous; this turns that class of typo into a lint error. Checks:
+//
+//   - arguments to Registry.Fire / Fired / Clear, and the Point field
+//     of fault.Rule composite literals: a string literal is rejected
+//     even when its spelling matches (the constants exist so renames
+//     propagate); any other constant expression must equal a
+//     registered point. Non-constant values are runtime data and out
+//     of scope.
+//   - constant specs passed to fault.Parse: each "point=kind:..."
+//     clause's point must be registered (the "seed=" clause is not a
+//     point).
+//   - module-wide (via the Finish hook): a registered Point* constant
+//     that no non-test file references is dead — it documents an
+//     injection point that does not exist — and is reported at its
+//     declaration.
+//
+// The fault package's own _test.go files are exempt: the registry
+// unit tests exercise arbitrary point names on purpose.
+func FaultPointAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "faultpoint",
+		Doc:  "fault.Point names referenced in source must match the registered constant set",
+	}
+	a.Run = func(p *Pass) {
+		faultPkg := findFaultPkg(p.Pkg)
+		if faultPkg == nil {
+			return
+		}
+		points := registeredPoints(faultPkg)
+		if len(points) == 0 {
+			return
+		}
+		inFaultPkg := p.Pkg.Types == faultPkg
+		walkFiles(p, func(f *ast.File) {
+			if inFaultPkg && strings.HasSuffix(p.Position(f.Pos()).Filename, "_test.go") {
+				return // registry unit tests use arbitrary names on purpose
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkFaultCall(p, n, faultPkg, points)
+				case *ast.CompositeLit:
+					checkRuleLit(p, n, faultPkg, points)
+				}
+				return true
+			})
+		})
+	}
+	a.Finish = func(m *ModulePass) {
+		reportDeadPoints(m)
+	}
+	return a
+}
+
+// findFaultPkg locates the fault package in scope: the package under
+// analysis itself, or one of its direct imports named "fault".
+func findFaultPkg(pkg *Package) *types.Package {
+	if pkg.Types == nil {
+		return nil
+	}
+	if pkg.Types.Name() == "fault" {
+		return pkg.Types
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Name() == "fault" {
+			return imp
+		}
+	}
+	return nil
+}
+
+// registeredPoints returns value -> constant name for the exported
+// Point* string constants of the fault package.
+func registeredPoints(faultPkg *types.Package) map[string]string {
+	points := map[string]string{}
+	scope := faultPkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Point") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		points[constant.StringVal(c.Val())] = name
+	}
+	return points
+}
+
+// faultCallee returns the point-name argument expression when call is
+// Registry.Fire/Fired/Clear (resolved to the fault package, so an
+// unrelated Clear method never matches), and whether call is
+// fault.Parse.
+func faultCallee(p *Pass, call *ast.CallExpr, faultPkg *types.Package) (pointArg ast.Expr, isParse bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	// Inside the fault package itself Parse is an unqualified call.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "Parse" {
+		if obj, has := p.Pkg.Info.Uses[id]; has && obj.Pkg() == faultPkg {
+			return nil, true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Fire", "Fired", "Clear":
+		selection, has := p.Pkg.Info.Selections[sel]
+		if !has || selection.Kind() != types.MethodVal {
+			return nil, false
+		}
+		if fn := selection.Obj(); fn.Pkg() == faultPkg {
+			return call.Args[0], false
+		}
+	case "Parse":
+		if obj, has := p.Pkg.Info.Uses[sel.Sel]; has && obj.Pkg() == faultPkg {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+func checkFaultCall(p *Pass, call *ast.CallExpr, faultPkg *types.Package, points map[string]string) {
+	arg, isParse := faultCallee(p, call, faultPkg)
+	if isParse {
+		checkParseSpec(p, call.Args[0], points)
+		return
+	}
+	if arg != nil {
+		checkPointExpr(p, arg, points)
+	}
+}
+
+// checkRuleLit validates the Point field of fault.Rule{...} literals.
+func checkRuleLit(p *Pass, lit *ast.CompositeLit, faultPkg *types.Package, points map[string]string) {
+	tv, ok := p.Pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() != faultPkg || named.Obj().Name() != "Rule" {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			if key, isIdent := kv.Key.(*ast.Ident); isIdent && key.Name == "Point" {
+				checkPointExpr(p, kv.Value, points)
+			}
+		} else if i == 0 {
+			checkPointExpr(p, elt, points) // positional: Point is the first field
+		}
+	}
+}
+
+// checkPointExpr validates one constant point-name expression.
+func checkPointExpr(p *Pass, e ast.Expr, points map[string]string) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // runtime value: out of scope
+	}
+	val := constant.StringVal(tv.Value)
+	name, known := points[val]
+	if lit, isLit := unparen(e).(*ast.BasicLit); isLit {
+		if known {
+			p.Reportf(lit.Pos(), "injection point %q spelled as a string literal: use fault.%s so the reference survives renames", val, name)
+		} else {
+			p.Reportf(lit.Pos(), "unknown injection point %q: not a registered fault.Point* constant, so no chaos rule armed here can ever fire", val)
+		}
+		return
+	}
+	if !known {
+		p.Reportf(e.Pos(), "constant resolves to unknown injection point %q: not a registered fault.Point* constant", val)
+	}
+}
+
+// checkParseSpec validates the point of every clause in a constant
+// fault.Parse spec string.
+func checkParseSpec(p *Pass, e ast.Expr, points map[string]string) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	for _, clause := range strings.Split(constant.StringVal(tv.Value), ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		point, _, ok := strings.Cut(clause, "=")
+		if !ok || point == "seed" {
+			continue
+		}
+		if _, known := points[point]; !known {
+			p.Reportf(e.Pos(), "fault spec arms unknown injection point %q: not a registered fault.Point* constant, so the rule can never fire", point)
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// reportDeadPoints runs module-wide after every package: a Point*
+// constant never referenced outside _test.go files names an injection
+// point that does not exist in any production code path.
+func reportDeadPoints(m *ModulePass) {
+	// The registered set, from the fault package(s) loaded as part of
+	// the module (not fixtures).
+	type pointConst struct {
+		obj *types.Const
+		pkg *Package
+	}
+	var decls []pointConst
+	declared := map[types.Object]bool{}
+	for _, pkg := range m.Pkgs {
+		if pkg.Name != "fault" || pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			if !strings.HasPrefix(name, "Point") {
+				continue
+			}
+			if c, ok := scope.Lookup(name).(*types.Const); ok && c.Val().Kind() == constant.String {
+				decls = append(decls, pointConst{c, pkg})
+				declared[c] = true
+			}
+		}
+	}
+	if len(decls) == 0 {
+		return
+	}
+	used := map[types.Object]bool{}
+	for _, pkg := range m.Pkgs {
+		for id, obj := range pkg.Info.Uses {
+			if !declared[obj] {
+				continue
+			}
+			if strings.HasSuffix(pkg.Fset.Position(id.Pos()).Filename, "_test.go") {
+				continue
+			}
+			used[obj] = true
+		}
+	}
+	for _, d := range decls {
+		if !used[d.obj] {
+			m.Report(d.pkg.Fset.Position(d.obj.Pos()),
+				"injection point %s (%q) is never fired outside tests: a dead point makes every chaos rule armed at it vacuous; wire it into the code path or remove it",
+				d.obj.Name(), constant.StringVal(d.obj.Val()))
+		}
+	}
+}

@@ -7,13 +7,22 @@
 // strict goroutine hygiene. Each convention is enforced by an
 // Analyzer; cmd/miolint wires them to a CLI.
 //
+// Beyond per-statement syntactic checks, the framework provides an
+// intraprocedural CFG constructor (cfg.go) and a generic forward-
+// dataflow fixpoint engine (dataflow.go); lockcheck, ctxflow and
+// fsync are built on them and reason about every syntactic path, not
+// just source order. DESIGN.md §13 documents the architecture and how
+// to write a flow-sensitive analyzer.
+//
 // Diagnostics can be suppressed at a specific line with
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // placed either on the flagged line or on the line directly above it.
 // The analyzer name "all" suppresses every analyzer. A reason is
-// mandatory; suppressions without one are reported themselves.
+// mandatory; suppressions without one are reported themselves, and —
+// when the runner's audit is on — so is any suppression that no
+// longer matches a diagnostic, so suppressions cannot rot in place.
 package lint
 
 import (
@@ -37,11 +46,14 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one repository-specific check. Run is invoked once per
-// loaded package and reports findings through the Pass.
+// loaded package and reports findings through the Pass. Finish, when
+// set, is invoked once after every package's Run with the whole
+// module in view — for cross-package checks like dead fault points.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Pass)
+	Name   string
+	Doc    string
+	Run    func(p *Pass)
+	Finish func(m *ModulePass)
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -61,14 +73,45 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Position resolves pos against the pass's file set, for analyzers
+// that embed source locations ("acquired at line N") in messages.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.fset.Position(pos)
+}
+
+// ModulePass is the whole-module view handed to Analyzer.Finish after
+// every per-package Run. Each Package carries its own Fset, so Finish
+// implementations resolve positions through the owning package.
+type ModulePass struct {
+	Pkgs []*Package
+	an   *Analyzer
+	sink *[]Diagnostic
+}
+
+// Report records a module-level diagnostic at an already-resolved
+// position.
+func (m *ModulePass) Report(pos token.Position, format string, args ...any) {
+	*m.sink = append(*m.sink, Diagnostic{
+		Pos:      pos,
+		Analyzer: m.an.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Runner owns a set of analyzers and applies them to loaded packages.
 type Runner struct {
 	Analyzers []*Analyzer
+	// AuditSuppressions reports //lint:ignore comments that matched no
+	// diagnostic. NewRunner enables it; Disable turns it off (with
+	// analyzers missing, their suppressions would all look stale), and
+	// the zero value is off for the same reason.
+	AuditSuppressions bool
 }
 
-// NewRunner returns a Runner with the full default analyzer suite.
+// NewRunner returns a Runner with the full default analyzer suite and
+// the stale-suppression audit enabled.
 func NewRunner() *Runner {
-	return &Runner{Analyzers: DefaultAnalyzers()}
+	return &Runner{Analyzers: DefaultAnalyzers(), AuditSuppressions: true}
 }
 
 // DefaultAnalyzers returns the repository's standard suite.
@@ -81,11 +124,15 @@ func DefaultAnalyzers() []*Analyzer {
 		OptionsAnalyzer(nil),
 		RecoverAnalyzer(),
 		FsyncAnalyzer(nil),
+		LockCheckAnalyzer(nil),
+		CtxFlowAnalyzer(),
+		FaultPointAnalyzer(),
 	}
 }
 
 // Disable removes the named analyzers (comma-separated) from the
-// runner. Unknown names are ignored.
+// runner and turns off the stale-suppression audit, since the
+// suppressions of a disabled analyzer cannot match anything.
 func (r *Runner) Disable(names string) {
 	drop := map[string]bool{}
 	for _, n := range strings.Split(names, ",") {
@@ -98,26 +145,36 @@ func (r *Runner) Disable(names string) {
 		}
 	}
 	r.Analyzers = kept
+	r.AuditSuppressions = false
 }
 
-// Run applies every analyzer to every package and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// Run applies every analyzer to every package (then every Finish hook
+// to the module) and returns the surviving (non-suppressed)
+// diagnostics sorted by position.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
+	sup := collectSuppressions(pkgs)
+	var raw []Diagnostic
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		var raw []Diagnostic
 		for _, a := range r.Analyzers {
 			p := &Pass{Pkg: pkg, an: a, sink: &raw, fset: pkg.Fset}
 			a.Run(p)
 		}
-		for _, d := range raw {
-			if sup.suppressed(d) {
-				continue
-			}
-			diags = append(diags, d)
+	}
+	for _, a := range r.Analyzers {
+		if a.Finish != nil {
+			a.Finish(&ModulePass{Pkgs: pkgs, an: a, sink: &raw})
 		}
-		diags = append(diags, sup.malformed...)
+	}
+	var diags []Diagnostic
+	for _, d := range raw {
+		if sup.suppressed(d) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	diags = append(diags, sup.malformed...)
+	if r.AuditSuppressions {
+		diags = append(diags, sup.stale()...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -135,42 +192,53 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	return diags
 }
 
-// suppressions maps file:line to the analyzer names ignored there.
+// suppression is one //lint:ignore comment, with whether any
+// diagnostic actually used it.
+type suppression struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// suppressions indexes every comment by the file:line pairs it covers
+// and keeps the full list for the stale audit.
 type suppressions struct {
-	byLine    map[string]map[string]bool // "file:line" -> analyzer set
+	byLine    map[string][]*suppression // "file:line" -> comments covering that line
+	all       []*suppression
 	malformed []Diagnostic
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore(\s+(\S+))?(\s+(.*))?$`)
 
-// collectSuppressions scans //lint:ignore comments. A comment at line
-// L suppresses diagnostics on L and L+1, so both trailing and
-// preceding placement work.
-func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byLine: map[string]map[string]bool{}}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				name, reason := m[2], strings.TrimSpace(m[4])
-				if name == "" || reason == "" {
-					s.malformed = append(s.malformed, Diagnostic{
-						Pos:      pos,
-						Analyzer: "lint",
-						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
-					})
-					continue
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if s.byLine[key] == nil {
-						s.byLine[key] = map[string]bool{}
+// collectSuppressions scans //lint:ignore comments across all
+// packages. A comment at line L suppresses diagnostics on L and L+1,
+// so both trailing and preceding placement work.
+func collectSuppressions(pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: map[string][]*suppression{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					s.byLine[key][name] = true
+					pos := pkg.Fset.Position(c.Pos())
+					name, reason := m[2], strings.TrimSpace(m[4])
+					if name == "" || reason == "" {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+						})
+						continue
+					}
+					e := &suppression{pos: pos, name: name}
+					s.all = append(s.all, e)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						s.byLine[key] = append(s.byLine[key], e)
+					}
 				}
 			}
 		}
@@ -178,9 +246,35 @@ func collectSuppressions(pkg *Package) *suppressions {
 	return s
 }
 
+// suppressed reports whether d is covered, marking every covering
+// comment as used.
 func (s *suppressions) suppressed(d Diagnostic) bool {
-	set := s.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
-	return set != nil && (set[d.Analyzer] || set["all"])
+	hit := false
+	for _, e := range s.byLine[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] {
+		if e.name == d.Analyzer || e.name == "all" {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns a diagnostic for every well-formed suppression that
+// matched nothing.
+func (s *suppressions) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.all {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "lint",
+			Message: fmt.Sprintf("stale //lint:ignore %s: no %s diagnostic on this or the next line; suppressions that outlive their finding hide future regressions, remove it",
+				e.name, e.name),
+		})
+	}
+	return out
 }
 
 // walkFiles applies fn to every file of the package.

@@ -2,101 +2,32 @@ package lint
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 )
 
-// wantRe extracts expectations of the form
-//
-//	// want "substring" "another substring"
-//
-// from a fixture line. Every expectation must be matched by a
-// diagnostic on that line, and every diagnostic must be expected.
-var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
-var wantStrRe = regexp.MustCompile(`"([^"]*)"`)
-
-// TestAnalyzersGolden runs each analyzer against its fixture under
+// TestAnalyzersGolden runs every analyzer against its fixture under
 // testdata and cross-checks diagnostics with the // want comments.
+// The same suite backs `miolint -fixtures`.
 func TestAnalyzersGolden(t *testing.T) {
-	tests := []struct {
-		name       string
-		file       string
-		importPath string // crafted so the analyzer's default scope applies
-		analyzer   *Analyzer
-	}{
-		{"dist2", "dist2.go", "fix/internal/core/d2", Dist2Analyzer(nil)},
-		{"scratch", "scratch.go", "fix/scratch", ScratchAnalyzer()},
-		{"gohygiene", "gohygiene.go", "fix/gohygiene", GoHygieneAnalyzer()},
-		{"errcheck", "errcheck.go", "fix/cmd/app", ErrCheckAnalyzer(nil)},
-		{"options", "options.go", "fix/examples/app", OptionsAnalyzer(nil)},
-		{"recover", "recover.go", "fix/recover", RecoverAnalyzer()},
-		{"fsync", "fsync.go", "fix/fsync", FsyncAnalyzer(nil)},
-	}
-	for _, tc := range tests {
-		t.Run(tc.name, func(t *testing.T) {
-			src, err := os.ReadFile(filepath.Join("testdata", tc.file))
+	for _, fx := range FixtureSuite() {
+		t.Run(fx.Name, func(t *testing.T) {
+			fails, err := RunFixture("testdata", fx)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pkg, err := CheckSource(tc.importPath, map[string]string{tc.file: string(src)})
-			if err != nil {
-				t.Fatal(err)
+			for _, f := range fails {
+				t.Error(f)
 			}
-			for _, e := range pkg.Errors {
-				t.Fatalf("fixture must type-check: %v", e)
-			}
-			runner := &Runner{Analyzers: []*Analyzer{tc.analyzer}}
-			diags := runner.Run([]*Package{pkg})
-			if len(diags) == 0 {
-				t.Fatalf("fixture produced no diagnostics; miolint would exit 0 on it")
-			}
-			checkWants(t, tc.file, string(src), diags)
 		})
-	}
-}
-
-func checkWants(t *testing.T, file, src string, diags []Diagnostic) {
-	t.Helper()
-	want := map[int][]string{} // line -> expected substrings
-	for i, line := range strings.Split(src, "\n") {
-		m := wantRe.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		for _, sm := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
-			want[i+1] = append(want[i+1], sm[1])
-		}
-	}
-	got := map[int][]string{}
-	for _, d := range diags {
-		got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
-	}
-	for line, subs := range want {
-		for _, sub := range subs {
-			found := false
-			for _, msg := range got[line] {
-				if strings.Contains(msg, sub) {
-					found = true
-				}
-			}
-			if !found {
-				t.Errorf("%s:%d: expected diagnostic containing %q, got %v", file, line, sub, got[line])
-			}
-		}
-	}
-	for line, msgs := range got {
-		if len(want[line]) == 0 {
-			t.Errorf("%s:%d: unexpected diagnostic(s): %v", file, line, msgs)
-		}
 	}
 }
 
 // TestSuppression covers the //lint:ignore mechanics: trailing and
 // preceding placement, the "all" wildcard, name mismatch, and the
-// malformed-comment diagnostic.
+// malformed-comment diagnostic. The runner here has the stale audit
+// off, so a non-matching suppression surfaces only the unsuppressed
+// finding (the audit's own behavior is TestStaleSuppressionAudit's).
 func TestSuppression(t *testing.T) {
 	const tmpl = `package p
 
@@ -146,6 +77,47 @@ func f() {
 	}
 }
 
+// TestStaleSuppressionAudit pins the audit: a suppression that matches
+// a diagnostic is silent, one that matches nothing is itself reported,
+// and disabling analyzers turns the audit off (their suppressions
+// would all look stale).
+func TestStaleSuppressionAudit(t *testing.T) {
+	const src = `package p
+
+func fails() error { return nil }
+
+func f() {
+	fails() //lint:ignore errcheck the result is advisory here
+	//lint:ignore errcheck nothing on this line fails
+	_ = 1 + 1
+}
+`
+	pkg, err := CheckSource("fix/cmd/stale", map[string]string{"stale.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(r *Runner) []Diagnostic { return r.Run([]*Package{pkg}) }
+
+	audited := run(&Runner{Analyzers: []*Analyzer{ErrCheckAnalyzer(nil)}, AuditSuppressions: true})
+	if len(audited) != 1 || !strings.Contains(audited[0].Message, "stale //lint:ignore errcheck") {
+		t.Fatalf("audited run = %v, want exactly the stale-suppression diagnostic", audited)
+	}
+	if audited[0].Pos.Line != 7 {
+		t.Errorf("stale diagnostic at line %d, want 7 (the dead comment)", audited[0].Pos.Line)
+	}
+
+	unaudited := run(&Runner{Analyzers: []*Analyzer{ErrCheckAnalyzer(nil)}})
+	if len(unaudited) != 0 {
+		t.Fatalf("unaudited run = %v, want none", unaudited)
+	}
+
+	disabled := NewRunner()
+	disabled.Disable("errcheck")
+	if disabled.AuditSuppressions {
+		t.Error("Disable must turn the stale audit off")
+	}
+}
+
 // TestDisable checks analyzer filtering.
 func TestDisable(t *testing.T) {
 	r := NewRunner()
@@ -162,9 +134,9 @@ func TestDisable(t *testing.T) {
 }
 
 // TestRepoIsLintClean loads the real module and asserts the full suite
-// reports nothing: the conventions the analyzers enforce hold
-// everywhere, and stay held. This is the same gate CI applies via
-// `go run ./cmd/miolint ./...`.
+// — stale-suppression audit included — reports nothing: the
+// conventions the analyzers enforce hold everywhere, and stay held.
+// This is the same gate CI applies via `go run ./cmd/miolint ./...`.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module against GOROOT sources")

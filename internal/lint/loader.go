@@ -71,6 +71,9 @@ func NewLoader(dir string) (*Loader, error) {
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// ModuleDir returns the module root directory (where go.mod lives).
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
 // findModule walks upward from dir to the enclosing go.mod.
 func findModule(dir string) (root, modPath string, err error) {
 	for d := dir; ; {

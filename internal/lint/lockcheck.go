@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// Per-mutex possibility mask. This is a may-analysis: each bit records
+// that the mutex can be in that state on at least one path reaching
+// the program point. Join is bitwise union, so the lattice is the
+// powerset of {unlocked, locked, rlocked} and every transfer is
+// monotone — the fixpoint exists and is reached in a few passes.
+const (
+	lockU uint8 = 1 << iota // unlocked on some path
+	lockL                   // write-locked on some path
+	lockR                   // read-locked on some path
+)
+
+type lockState struct {
+	states uint8
+	pos    token.Pos // most recent acquisition site (for "locked at")
+	disp   string    // display form, e.g. "s.swapMu"
+}
+
+// lockFact maps a stable mutex key (root object + field path) to its
+// possible states.
+type lockFact map[string]lockState
+
+func (f lockFact) eq(g lockFact) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if w, ok := g[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f lockFact) clone() lockFact {
+	g := make(lockFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func joinLock(a, b lockFact) lockFact {
+	out := a.clone()
+	for k, v := range b {
+		if w, ok := out[k]; ok {
+			merged := lockState{states: w.states | v.states, pos: w.pos, disp: w.disp}
+			if merged.pos == token.NoPos {
+				merged.pos = v.pos
+			}
+			out[k] = merged
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// LockCheckAnalyzer enforces mutex discipline on every syntactic path
+// through the packages where locks guard the serving stack
+// (internal/server, labelstore, breaker by default). Built on the CFG
+// + forward dataflow engine, per function (literals included, each as
+// its own function), it reports:
+//
+//   - Lock/RLock of a mutex that may already be held in the
+//     conflicting mode on some path — sync.Mutex and sync.RWMutex are
+//     not reentrant, so Lock-under-Lock and the RLock→Lock upgrade
+//     are guaranteed self-deadlocks on that path;
+//   - Unlock of a mutex that is only read-locked (and RUnlock of one
+//     that is only write-locked) — a runtime fatal error;
+//   - a blocking operation — channel send or receive, a .Wait() call,
+//     time.Sleep, or an outbound HTTP call — while any tracked mutex
+//     may be held. The deferred-unlock idiom does not exempt these:
+//     the defer runs at return, so the lock really is held across the
+//     blocking point. Sites where that is the intended design (e.g. a
+//     drain that must hold the swap lock while it empties the pool)
+//     carry a //lint:ignore lockcheck with the reason;
+//   - a mutex still held on some path when the function returns
+//     (anchored at the acquisition site). Unlock-helper patterns that
+//     intentionally return holding a lock are out of scope for this
+//     repository and would need a suppression.
+//
+// A select communication counts as blocking unless the select has a
+// default clause. Mutexes reached through map/slice indexing or calls
+// are not tracked (no stable key); interface-typed sync.Locker values
+// are likewise out of scope.
+func LockCheckAnalyzer(pathRe *regexp.Regexp) *Analyzer {
+	if pathRe == nil {
+		pathRe = regexp.MustCompile(`internal/server|labelstore|breaker`)
+	}
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "path-sensitive Lock/Unlock pairing; RLock→Lock upgrades; locks held across blocking ops",
+	}
+	a.Run = func(p *Pass) {
+		if !pathRe.MatchString(p.Pkg.Path) {
+			return
+		}
+		// A deferred func(){...}() body is analyzed both inlined in its
+		// parent's exit preamble and as a function of its own; dedupe so
+		// a finding inside one reports once.
+		seen := map[string]bool{}
+		report := func(pos token.Pos, format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			key := fmt.Sprintf("%d:%s", pos, msg)
+			if !seen[key] {
+				seen[key] = true
+				p.Reportf(pos, "%s", msg)
+			}
+		}
+		walkFiles(p, func(f *ast.File) {
+			forEachFuncBody(f, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+				lockCheckFunc(p, name, body, report)
+			})
+		})
+	}
+	return a
+}
+
+func lockCheckFunc(p *Pass, name string, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	g := BuildCFG(body)
+	reporting := false
+
+	transfer := func(b *Block, in lockFact) lockFact {
+		out := in
+		mutated := false
+		set := func(key string, st lockState) {
+			if !mutated {
+				out = out.clone()
+				mutated = true
+			}
+			out[key] = st
+		}
+		blocking := func(pos token.Pos, what string) {
+			if !reporting {
+				return
+			}
+			keys := make([]string, 0, len(out))
+			for k := range out {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				st := out[k]
+				if st.states&(lockL|lockR) != 0 {
+					report(pos, "%s may be held across %s (acquired at line %d): a goroutine parked here stalls every other acquirer; release the lock before blocking",
+						st.disp, what, p.Position(st.pos).Line)
+				}
+			}
+		}
+		for i, node := range b.Nodes {
+			commExempt := i == 0 && selectHasDefault(b)
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false // a different function, analyzed separately
+				case *ast.DeferStmt:
+					return false // effects apply in the exit preamble
+				case *ast.SendStmt:
+					if !commExempt {
+						blocking(n.Pos(), "a channel send")
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !commExempt {
+						blocking(n.Pos(), "a channel receive")
+					}
+				case *ast.CallExpr:
+					if recv, method, ok := mutexMethod(p, n); ok {
+						key, disp := lockExprKey(p, recv)
+						if key == "" {
+							return true
+						}
+						st := out[key]
+						switch method {
+						case "Lock":
+							if reporting && st.states&lockL != 0 {
+								report(n.Pos(), "Lock of %s while it may already be locked on this path (line %d): sync mutexes are not reentrant, this self-deadlocks",
+									disp, p.Position(st.pos).Line)
+							} else if reporting && st.states&lockR != 0 {
+								report(n.Pos(), "Lock of %s while its RLock may be held (line %d): the RLock→Lock upgrade self-deadlocks; RUnlock before locking",
+									disp, p.Position(st.pos).Line)
+							}
+							set(key, lockState{states: lockL, pos: n.Pos(), disp: disp})
+						case "RLock":
+							if reporting && st.states&lockL != 0 {
+								report(n.Pos(), "RLock of %s while its Lock may be held (line %d): self-deadlock", disp, p.Position(st.pos).Line)
+							}
+							set(key, lockState{states: lockR, pos: n.Pos(), disp: disp})
+						case "Unlock":
+							if reporting && st.states == lockR {
+								report(n.Pos(), "Unlock of %s which is read-locked here: use RUnlock (Unlock of an RLock'd RWMutex is a runtime fatal error)", disp)
+							}
+							set(key, lockState{states: lockU, disp: disp})
+						case "RUnlock":
+							if reporting && st.states == lockL {
+								report(n.Pos(), "RUnlock of %s which is write-locked here: use Unlock", disp)
+							}
+							set(key, lockState{states: lockU, disp: disp})
+						case "TryLock":
+							set(key, lockState{states: st.states | lockL | lockU, pos: n.Pos(), disp: disp})
+						case "TryRLock":
+							set(key, lockState{states: st.states | lockR | lockU, pos: n.Pos(), disp: disp})
+						}
+						return true
+					}
+					if what := blockingCall(p, n); what != "" {
+						blocking(n.Pos(), what)
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	in, ok := Forward(g, lockFact{}, joinLock, lockFact.eq, transfer)
+	if !ok {
+		return // oscillating facts: do not report from a non-fixpoint
+	}
+	reporting = true
+	eachReachable(g, in, transfer)
+
+	exit, ok := in[g.Exit]
+	if !ok {
+		return // no path reaches the exit (e.g. an endless serve loop)
+	}
+	keys := make([]string, 0, len(exit))
+	for k := range exit {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if st := exit[k]; st.states&(lockL|lockR) != 0 && st.pos != token.NoPos {
+			report(st.pos, "%s may still be held when %s returns: unlock it on every path, or defer the unlock right after acquiring", st.disp, name)
+		}
+	}
+}
+
+// mutexMethod matches a call to (R)Lock/(R)Unlock/Try(R)Lock whose
+// receiver is a sync.Mutex or sync.RWMutex (possibly via pointer).
+func mutexMethod(p *Pass, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, "", false
+	}
+	tv, has := p.Pkg.Info.Types[sel.X]
+	if !has || tv.Type == nil {
+		return nil, "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	if n := obj.Name(); n != "Mutex" && n != "RWMutex" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// lockExprKey derives a stable identity for a mutex expression: the
+// root identifier's defining object plus the field path, so s.mu in
+// two methods of the same receiver is the same key while shadowed
+// locals stay distinct. Expressions rooted elsewhere (index, call)
+// yield "" and are not tracked.
+func lockExprKey(p *Pass, e ast.Expr) (key, disp string) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lockExprKey(p, e.X)
+	case *ast.Ident:
+		obj := p.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = p.Pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return "", ""
+		}
+		return fmt.Sprintf("%s@%d", e.Name, obj.Pos()), e.Name
+	case *ast.SelectorExpr:
+		k, d := lockExprKey(p, e.X)
+		if k == "" {
+			return "", ""
+		}
+		return k + "." + e.Sel.Name, d + "." + e.Sel.Name
+	}
+	return "", ""
+}
+
+// blockingCall classifies calls that can park the goroutine
+// indefinitely: WaitGroup/Cond/process Wait, time.Sleep, and outbound
+// HTTP (package-level helpers or (*http.Client) methods).
+func blockingCall(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Wait":
+		if len(call.Args) == 0 {
+			return "a Wait call"
+		}
+	case "Sleep":
+		if isPkgCall(p, call, "time", "Sleep") {
+			return "time.Sleep"
+		}
+	case "Get", "Post", "Head", "PostForm":
+		if isPkgCall(p, call, "net/http", sel.Sel.Name) {
+			return "an HTTP call"
+		}
+	case "Do":
+		tv, has := p.Pkg.Info.Types[sel.X]
+		if has && tv.Type != nil {
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Client" {
+					return "an HTTP call"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// selectHasDefault reports whether b is a select communication block
+// whose select also has a default clause — then the communication
+// cannot block.
+func selectHasDefault(b *Block) bool {
+	if b.Desc != "select.case" {
+		return false
+	}
+	for _, pred := range b.Preds {
+		for _, s := range pred.Succs {
+			if s.Desc == "select.default" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Fixture for the ctxflow analyzer: functions that accept a context
+// must thread it — no Background/TODO laundering, no may-be-fresh
+// handoffs, no calling the ctx-dropping variant of a method pair.
+package fixture
+
+import "context"
+
+type worker struct{}
+
+func (worker) Run(n int) int                             { return n }
+func (worker) RunContext(ctx context.Context, n int) int { return n }
+func (worker) Stop()                                     {}
+
+func fetch(ctx context.Context, url string) error { return nil }
+
+// launder discards the caller's deadline on the spot.
+func launder(ctx context.Context, url string) error {
+	return fetch(context.Background(), url) // want "context.Background() inside launder"
+}
+
+// launderOnBranch is the flow-sensitive case: use is fine on one path
+// and fresh on the other, and the call site sees the merge.
+func launderOnBranch(ctx context.Context, fallback bool, url string) error {
+	use := ctx
+	if fallback {
+		use = context.TODO() // want "context.TODO() inside launderOnBranch"
+	}
+	return fetch(use, url) // want "may hold a fresh Background/TODO context"
+}
+
+// threads is the clean shape: the derived context keeps the caller's
+// cancellation.
+func threads(ctx context.Context, url string) error {
+	cctx, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	return fetch(cctx, url)
+}
+
+// dropsCtx calls the variant that silently substitutes Background.
+func dropsCtx(ctx context.Context, w worker) int {
+	return w.Run(1) // want "call RunContext"
+}
+
+// keepsCtx uses the context-capable variant.
+func keepsCtx(ctx context.Context, w worker) int {
+	w.Stop() // no StopContext exists: fine
+	return w.RunContext(ctx, 1)
+}
+
+// shim has no ctx parameter, so starting a context is its job.
+func shim(url string) error {
+	return fetch(context.Background(), url)
+}
+
+// spawn: a function literal with its own ctx parameter is its own
+// function and is held to the same rules.
+func spawn(ctx context.Context, urls []string) {
+	run := func(ctx context.Context, url string) error {
+		return fetch(context.Background(), url) // want "context.Background()"
+	}
+	for _, u := range urls {
+		_ = run(ctx, u)
+	}
+}

@@ -1,0 +1,41 @@
+// Fixture for the faultpoint analyzer. The package mimics the fault
+// registry's API surface (it must be named "fault" and declare Point*
+// constants for the analyzer to find the registered set).
+package fault
+
+const (
+	PointAlpha = "alpha.step"
+	PointBeta  = "beta.step"
+	PointDead  = "gamma.dead" // want "never fired outside tests"
+)
+
+// Rule arms one injection point.
+type Rule struct {
+	Point string
+	P     float64
+}
+
+// Registry is the armed-rule store.
+type Registry struct{}
+
+func (r *Registry) Fire(point string) error   { return nil }
+func (r *Registry) Fired(point string) uint64 { return 0 }
+func (r *Registry) Clear(point string)        {}
+func (r *Registry) Arm(rule Rule)             {}
+
+// Parse builds a registry from flag syntax.
+func Parse(spec string) (*Registry, error) { return nil, nil }
+
+func driver(r *Registry) {
+	_ = r.Fire(PointAlpha)   // the constant: fine
+	_ = r.Fire("alpha.step") // want "spelled as a string literal"
+	_ = r.Fire("alpha.stpe") // want "unknown injection point"
+	r.Clear(PointBeta)
+
+	_, _ = Parse("seed=1;beta.step=panic:1") // registered point: fine
+	_, _ = Parse("beta.stpe=panic:1")        // want "arms unknown injection point"
+
+	r.Arm(Rule{Point: PointAlpha, P: 1})
+	r.Arm(Rule{Point: "beta.step", P: 1}) // want "spelled as a string literal"
+	r.Arm(Rule{Point: "nope.step", P: 1}) // want "unknown injection point"
+}

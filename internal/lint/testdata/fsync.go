@@ -55,6 +55,57 @@ func droppedSyncs(f *os.File) error {
 	return nil
 }
 
+// branchSkipsSync is the case the syntactic v1 analyzer missed: a
+// sync exists in the function, but only on one branch — the fast path
+// publishes unsynced data, and only path-sensitive analysis sees it.
+func branchSkipsSync(f *os.File, fast bool, tmp, final string) error {
+	if !fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp, final) // want "os.Rename without a preceding sync"
+}
+
+// bothBranchesSync is the clean counterpart: every path to the rename
+// syncs (one via f.Sync, one via a sync-named helper), so the
+// path-sensitive rule stays quiet.
+func bothBranchesSync(f *os.File, fast bool, tmp, final string) error {
+	if fast {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	} else {
+		if err := syncTree(tmp); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp, final) // synced on every path: fine
+}
+
+// writeAfterSync: a Write makes the earlier sync stale, so the rename
+// publishes bytes never flushed.
+func writeAfterSync(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("tail")); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want "os.Rename without a preceding sync"
+}
+
+// syncOnlyInLoop: the loop can run zero times, so there is an
+// unsynced path to the rename.
+func syncOnlyInLoop(f *os.File, tmp, final string, n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return os.Rename(tmp, final) // want "os.Rename without a preceding sync"
+}
+
 // notAFileSync: Sync methods on non-file types are out of scope.
 type flusher struct{}
 

@@ -1,0 +1,158 @@
+// Fixture for the lockcheck analyzer: path-sensitive Lock/Unlock
+// pairing, RLock→Lock upgrades, and blocking operations under a held
+// mutex.
+package fixture
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// missingUnlockOnBranch leaks the lock on the error path; the report
+// anchors at the acquisition.
+func missingUnlockOnBranch(g *guarded, fail bool) error {
+	g.mu.Lock() // want "may still be held when missingUnlockOnBranch returns"
+	if fail {
+		return errBoom
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// deferredUnlock is the canonical clean shape: the deferred unlock
+// covers every exit.
+func deferredUnlock(g *guarded, fail bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return errBoom
+	}
+	g.n++
+	return nil
+}
+
+// doubleLock self-deadlocks: sync.Mutex is not reentrant.
+func doubleLock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want "may already be locked"
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// upgrade takes the write lock while holding the read lock — the
+// writer waits for the reader it is.
+func upgrade(g *guarded) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	if g.n > 0 {
+		g.rw.Lock() // want "upgrade self-deadlocks"
+		g.n = 0
+		g.rw.Unlock()
+	}
+	return g.n
+}
+
+// sendUnderLock parks the goroutine on a channel while holding the
+// mutex: every other acquirer stalls with it.
+func sendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want "may be held across a channel send"
+	g.mu.Unlock()
+}
+
+// recvUnderDeferredUnlock: the deferred unlock runs at return, so the
+// lock really is held across the receive.
+func recvUnderDeferredUnlock(g *guarded, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want "may be held across a channel receive"
+}
+
+// waitUnderLock blocks on a WaitGroup with the mutex held.
+func waitUnderLock(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "may be held across a Wait call"
+	g.mu.Unlock()
+}
+
+// unlockThenWait is the clean ordering: release, then block.
+func unlockThenWait(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	wg.Wait()
+}
+
+// sleepUnderRLock holds the read lock across a sleep, stalling every
+// writer for the duration.
+func sleepUnderRLock(g *guarded) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	time.Sleep(time.Millisecond) // want "may be held across time.Sleep"
+}
+
+// nonBlockingSelect cannot park: the select has a default clause.
+func nonBlockingSelect(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n:
+	default:
+	}
+}
+
+// blockingSelect has no default, so the communication blocks with the
+// lock held.
+func blockingSelect(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n: // want "may be held across a channel send"
+	}
+}
+
+// wrongUnlockFlavor: Unlock of an RLock'd RWMutex is a runtime fatal.
+func wrongUnlockFlavor(g *guarded) {
+	g.rw.RLock()
+	g.rw.Unlock() // want "use RUnlock"
+}
+
+// lockInLoop re-locks on the second iteration without an intervening
+// unlock; the fixpoint carries the held state around the back edge.
+func lockInLoop(g *guarded, n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock() // want "may already be locked"
+		g.n++
+	}
+	g.mu.Unlock()
+}
+
+// deferredClosureUnlock: the unlock lives inside a deferred func
+// literal, which the CFG inlines into the exit preamble — clean.
+func deferredClosureUnlock(g *guarded) {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+// twoMutexes: distinct mutexes do not interfere.
+func twoMutexes(a, b *guarded) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

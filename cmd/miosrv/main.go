@@ -65,6 +65,9 @@ func main() {
 		admWait  = flag.Duration("admission-wait", 100*time.Millisecond, "max time a request queues for an engine slot")
 		swap     = flag.Bool("allow-swap", false, "enable POST /v1/dataset (reads server-local paths)")
 		faults   = flag.String("faults", "", "arm fault injection for chaos testing, e.g. 'seed=42;engine.verification=panic:0.01;server.run=latency:0.1:5ms'")
+		batchOn  = flag.Bool("batch", false, "route /v1/query through epoch-driven batch execution (queries sharing ⌈r⌉ share one index build and cell walk)")
+		batchWin = flag.Duration("batch-window", 0, "batch epoch gather window (0 selects the default 2ms; needs -batch)")
+		batchMax = flag.Int("batch-max", 0, "seal a batch epoch early at this many queries (0 selects the default 128; needs -batch)")
 	)
 	flag.Parse()
 
@@ -147,6 +150,12 @@ func main() {
 		AllowSwap:       *swap,
 		State:           st,
 		Faults:          reg,
+		BatchExecution:  *batchOn,
+		BatchWindow:     *batchWin,
+		BatchMaxSize:    *batchMax,
+	}
+	if (*batchWin != 0 || *batchMax != 0) && !*batchOn {
+		fatal("-batch-window/-batch-max require -batch")
 	}
 	srv, err := server.New(ds, opts, cfg)
 	if err != nil {
@@ -159,8 +168,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("miosrv: serving %q (%d objects, %d points) on %s  "+
-		"(pool %d, cache %v, coalesce %v)\n",
-		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal)
+		"(pool %d, cache %v, coalesce %v, batch %v)\n",
+		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal, *batchOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

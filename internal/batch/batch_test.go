@@ -1,0 +1,548 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/fault"
+)
+
+// recordingRun is a RunFunc double that records every group it is
+// handed and answers each member with a synthetic result tagged by the
+// member's (r, k), so tests can check outcome routing without a real
+// engine.
+type recordingRun struct {
+	mu     sync.Mutex
+	groups [][]core.GroupSpec
+}
+
+func (rr *recordingRun) run(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+	rr.mu.Lock()
+	cp := make([]core.GroupSpec, len(specs))
+	copy(cp, specs)
+	rr.groups = append(rr.groups, cp)
+	rr.mu.Unlock()
+
+	outs := make([]core.GroupOutcome, len(specs))
+	for i, s := range specs {
+		outs[i] = core.GroupOutcome{Result: tagResult(s)}
+	}
+	return outs, core.GroupReport{Members: len(specs), Plans: distinctPlans(specs)}, nil
+}
+
+// tagResult encodes the spec into the result so the submitter can
+// verify it got its own answer back, not a groupmate's.
+func tagResult(s core.GroupSpec) *core.Result {
+	return &core.Result{Best: core.Scored{Obj: int(s.R * 1000), Score: s.K}}
+}
+
+func distinctPlans(specs []core.GroupSpec) int {
+	type rk struct {
+		r float64
+		k int
+	}
+	seen := map[rk]struct{}{}
+	for _, s := range specs {
+		seen[rk{s.R, s.K}] = struct{}{}
+	}
+	return len(seen)
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestNewRequiresRun(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil RunFunc")
+	}
+}
+
+// TestSizeTriggerGathersOneEpoch submits exactly MaxBatch queries
+// concurrently: the size trigger seals the epoch deterministically, so
+// every member must land in the same epoch and be grouped by ⌈r⌉.
+func TestSizeTriggerGathersOneEpoch(t *testing.T) {
+	rr := &recordingRun{}
+	rs := []float64{1.5, 2.0, 2.5, 2.5, 0.7, 3.0}
+	// Window far beyond the test's lifetime: only the size trigger can
+	// seal, so the epoch membership is deterministic.
+	b := newTestEngine(t, Config{Window: time.Minute, MaxBatch: len(rs), Run: rr.run})
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(rs))
+	results := make([]*core.Result, len(rs))
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			results[i], errs[i] = b.Submit(context.Background(), r, i+1, false)
+		}(i, r)
+	}
+	wg.Wait()
+
+	for i := range rs {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		want := tagResult(core.GroupSpec{R: rs[i], K: i + 1})
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("submit %d: got %+v, want %+v (outcome routed to wrong member?)", i, results[i], want)
+		}
+	}
+
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	// ⌈r⌉ groups: {0.7}, {1.5, 2.0}, {2.5, 2.5, 3.0}.
+	if len(rr.groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(rr.groups), rr.groups)
+	}
+	sizes := map[int]int{}
+	for _, g := range rr.groups {
+		ceil := int(math.Ceil(g[0].R))
+		sizes[ceil] = len(g)
+		for _, s := range g {
+			if int(math.Ceil(s.R)) != ceil {
+				t.Fatalf("group mixes ceilings: %+v", g)
+			}
+		}
+	}
+	if sizes[1] != 1 || sizes[2] != 2 || sizes[3] != 3 {
+		t.Fatalf("group sizes by ceil = %v, want map[1:1 2:2 3:3]", sizes)
+	}
+
+	st := b.Stats(true)
+	if st.Epochs != 1 || st.Queries != 6 || st.Groups != 3 {
+		t.Fatalf("stats = %+v, want 1 epoch / 6 queries / 3 groups", st)
+	}
+	// Plans: ceil1 has 1, ceil2 has 2 distinct (r,k), ceil3 has 3
+	// distinct (r,k) (same r, different k) → 6 plans, no shared work.
+	if st.Plans != 6 || st.SharedWork != 0 {
+		t.Fatalf("plans=%d shared=%d, want 6/0", st.Plans, st.SharedWork)
+	}
+	if st.BatchSize.Count != 1 || st.BatchSize.Sum != 6 {
+		t.Fatalf("batch size histogram = %+v, want one observation of 6", st.BatchSize)
+	}
+}
+
+// TestWindowSeals checks the timer path: a single query must not wait
+// for MaxBatch companions that never come.
+func TestWindowSeals(t *testing.T) {
+	rr := &recordingRun{}
+	b := newTestEngine(t, Config{Window: time.Millisecond, MaxBatch: 1 << 20, Run: rr.run})
+	res, err := b.Submit(context.Background(), 2.0, 1, false)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if want := tagResult(core.GroupSpec{R: 2.0, K: 1}); !reflect.DeepEqual(res, want) {
+		t.Fatalf("got %+v, want %+v", res, want)
+	}
+}
+
+// TestSharedWorkCounter: identical (r, k) members collapse onto one
+// plan; the surplus shows up as SharedWork.
+func TestSharedWorkCounter(t *testing.T) {
+	rr := &recordingRun{}
+	b := newTestEngine(t, Config{Window: time.Minute, MaxBatch: 4, Run: rr.run})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), 2.0, 3, false); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats(false)
+	if st.Plans != 1 || st.SharedWork != 3 {
+		t.Fatalf("plans=%d shared=%d, want 1/3", st.Plans, st.SharedWork)
+	}
+}
+
+// blockingRun blocks every group run until release is closed.
+type blockingRun struct {
+	started chan struct{} // one tick per group run entering
+	release chan struct{}
+	inner   RunFunc
+}
+
+func (br *blockingRun) run(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+	br.started <- struct{}{}
+	<-br.release
+	return br.inner(specs)
+}
+
+// TestDetachOnCancel: a non-degrade member whose context dies while the
+// group is still running gets its context error immediately — it does
+// not wait out the epoch.
+func TestDetachOnCancel(t *testing.T) {
+	rr := &recordingRun{}
+	br := &blockingRun{started: make(chan struct{}, 8), release: make(chan struct{}), inner: rr.run}
+	b := newTestEngine(t, Config{Window: time.Minute, MaxBatch: 2, Run: br.run})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type ret struct {
+		res *core.Result
+		err error
+	}
+	cancelled := make(chan ret, 1)
+	healthy := make(chan ret, 1)
+	go func() {
+		res, err := b.Submit(ctx, 2.0, 1, false)
+		cancelled <- ret{res, err}
+	}()
+	go func() {
+		res, err := b.Submit(context.Background(), 2.2, 1, false)
+		healthy <- ret{res, err}
+	}()
+
+	<-br.started // group is running and will stay blocked
+	cancel()
+	select {
+	case got := <-cancelled:
+		if !errors.Is(got.err, context.Canceled) {
+			t.Fatalf("cancelled member: got (%v, %v), want context.Canceled", got.res, got.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled member did not detach while the group was blocked")
+	}
+	select {
+	case got := <-healthy:
+		t.Fatalf("healthy member returned (%v, %v) before the group finished", got.res, got.err)
+	default:
+	}
+	close(br.release)
+	if got := <-healthy; got.err != nil {
+		t.Fatalf("healthy member: %v", got.err)
+	}
+}
+
+// TestDegradeWaitsPastCancel: a Degrade member sticks around after its
+// context dies — only the finished group can certify its degraded
+// answer (or report the context error if nothing is certifiable).
+func TestDegradeWaitsPastCancel(t *testing.T) {
+	degradedRun := func(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+		outs := make([]core.GroupOutcome, len(specs))
+		for i := range specs {
+			outs[i] = core.GroupOutcome{Result: &core.Result{
+				Best:     core.Scored{Obj: 7, Score: 3},
+				Degraded: true,
+				Interval: &core.Interval{LB: 3, UB: 9},
+			}}
+		}
+		return outs, core.GroupReport{Members: len(specs), Plans: 1}, nil
+	}
+	br := &blockingRun{started: make(chan struct{}, 1), release: make(chan struct{}), inner: degradedRun}
+	b := newTestEngine(t, Config{Window: time.Millisecond, MaxBatch: 1 << 20, Run: br.run})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res *core.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = b.Submit(ctx, 2.0, 1, true)
+	}()
+	<-br.started
+	cancel()
+	select {
+	case <-done:
+		t.Fatal("degrade member detached instead of waiting for the epoch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(br.release)
+	<-done
+	if err != nil || res == nil || !res.Degraded {
+		t.Fatalf("degrade member: got (%+v, %v), want degraded result", res, err)
+	}
+}
+
+// TestPanicQuarantine: a panicking group run fails only its own
+// members; sibling groups in the same epoch and later epochs are
+// untouched.
+func TestPanicQuarantine(t *testing.T) {
+	rr := &recordingRun{}
+	poisoned := func(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+		if math.Ceil(specs[0].R) == 1 {
+			panic("poisoned cell")
+		}
+		return rr.run(specs)
+	}
+	b := newTestEngine(t, Config{Window: time.Minute, MaxBatch: 2, Run: poisoned})
+
+	var wg sync.WaitGroup
+	var poisonedErr, healthyErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, poisonedErr = b.Submit(context.Background(), 0.5, 1, false) }()
+	go func() { defer wg.Done(); _, healthyErr = b.Submit(context.Background(), 2.0, 1, false) }()
+	wg.Wait()
+
+	if poisonedErr == nil {
+		t.Fatal("poisoned group member got no error")
+	}
+	if healthyErr != nil {
+		t.Fatalf("sibling group poisoned too: %v", healthyErr)
+	}
+	if st := b.Stats(false); st.Panics != 1 {
+		t.Fatalf("panics counter = %d, want 1", st.Panics)
+	}
+
+	// The engine must still serve the next epoch.
+	var a, c error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, a = b.Submit(context.Background(), 2.0, 1, false) }()
+	go func() { defer wg.Done(); _, c = b.Submit(context.Background(), 2.5, 2, false) }()
+	wg.Wait()
+	if a != nil || c != nil {
+		t.Fatalf("epoch after panic failed: %v, %v", a, c)
+	}
+}
+
+// TestRunErrorFailsGroup covers the error path and the
+// outcome-count-mismatch guard.
+func TestRunErrorFailsGroup(t *testing.T) {
+	boom := errors.New("boom")
+	b := newTestEngine(t, Config{
+		Window: time.Millisecond, MaxBatch: 1 << 20,
+		Run: func(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+			return nil, core.GroupReport{}, boom
+		},
+	})
+	if _, err := b.Submit(context.Background(), 2.0, 1, false); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+
+	short := newTestEngine(t, Config{
+		Window: time.Millisecond, MaxBatch: 1 << 20,
+		Run: func(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+			return nil, core.GroupReport{}, nil // wrong length, no error
+		},
+	})
+	if _, err := short.Submit(context.Background(), 2.0, 1, false); err == nil {
+		t.Fatal("short outcome slice was not turned into an error")
+	}
+	if st := short.Stats(false); st.Failures != 1 {
+		t.Fatalf("failures counter = %d, want 1", st.Failures)
+	}
+}
+
+// TestEpochCloseFault: an armed batch.epoch_close rule fails every
+// query gathered into the epoch.
+func TestEpochCloseFault(t *testing.T) {
+	reg := fault.New(1)
+	reg.Arm(fault.Rule{Point: fault.PointEpochClose, Kind: fault.KindError, P: 1})
+	rr := &recordingRun{}
+	b := newTestEngine(t, Config{Window: time.Minute, MaxBatch: 2, Faults: reg, Run: rr.run})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), 2.0, 1, false)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("member %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if len(rr.groups) != 0 {
+		t.Fatalf("groups ran despite epoch-close fault: %+v", rr.groups)
+	}
+}
+
+// TestClose: Close answers the pending epoch and rejects later
+// submits.
+func TestClose(t *testing.T) {
+	rr := &recordingRun{}
+	b, err := New(Config{Window: time.Hour, MaxBatch: 1 << 20, Run: rr.run})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), 2.0, 1, false)
+		done <- err
+	}()
+	// Wait for the submit to be gathered, then close: the hour-long
+	// window means only Close can seal it.
+	for {
+		b.mu.Lock()
+		gathered := b.cur != nil && len(b.cur.reqs) == 1
+		b.mu.Unlock()
+		if gathered {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("pending submit after Close: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), 2.0, 1, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// --- interleaving property test against the sequential oracle ---
+
+// stableResult is the batched-vs-solo parity surface: everything in a
+// Result except wall-clock durations and byte sizes (shared structures
+// amortise those differently; see core's parity suite for the same
+// surface).
+type stableResult struct {
+	Best       core.Scored
+	TopK       []core.Scored
+	Degraded   bool
+	Interval   *core.Interval
+	UsedLabels bool
+	Candidates int
+	Verified   int
+	DistComps  int
+	AdjComp    int
+	SmallCells int
+	LargeCells int
+}
+
+func stable(res *core.Result) stableResult {
+	return stableResult{
+		Best:       res.Best,
+		TopK:       append([]core.Scored(nil), res.TopK...),
+		Degraded:   res.Degraded,
+		Interval:   res.Interval,
+		UsedLabels: res.Stats.UsedLabels,
+		Candidates: res.Stats.Candidates,
+		Verified:   res.Stats.Verified,
+		DistComps:  res.Stats.DistanceComps,
+		AdjComp:    res.Stats.AdjComputed,
+		SmallCells: res.Stats.SmallCells,
+		LargeCells: res.Stats.LargeCells,
+	}
+}
+
+// TestInterleavingMatchesSequentialOracle is the batch-layer property
+// test: any interleaving of {batched, solo, cancelled, degraded}
+// queries yields, for every query that completes, a result identical
+// to running that query alone on a fresh engine. Runs under -race in
+// CI (chaos suite includes this package).
+func TestInterleavingMatchesSequentialOracle(t *testing.T) {
+	ds := data.GenUniform(data.UniformConfig{N: 160, M: 8, FieldSize: 40, Spread: 3, Seed: 11})
+	eng, err := core.NewEngine(ds, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	// The oracle: each distinct (r, k), solo, on its own engine run.
+	type rk struct {
+		r float64
+		k int
+	}
+	rs := []float64{1.2, 1.9, 2.0, 2.4, 3.0, 3.7}
+	oracle := map[rk]stableResult{}
+	for _, r := range rs {
+		for k := 1; k <= 3; k++ {
+			res, err := eng.RunTopK(r, k)
+			if err != nil {
+				t.Fatalf("oracle (%g, %d): %v", r, k, err)
+			}
+			oracle[rk{r, k}] = stable(res)
+		}
+	}
+
+	b := newTestEngine(t, Config{
+		Window:   500 * time.Microsecond,
+		MaxBatch: 16,
+		Run: func(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+			outs, rep := eng.RunGroup(context.Background(), specs)
+			return outs, rep, nil
+		},
+	})
+
+	rng := rand.New(rand.NewSource(29))
+	type job struct {
+		spec      rk
+		cancelled bool
+		degraded  bool
+	}
+	var jobs []job
+	for i := 0; i < 96; i++ {
+		j := job{spec: rk{rs[rng.Intn(len(rs))], 1 + rng.Intn(3)}}
+		switch rng.Intn(6) {
+		case 0:
+			j.cancelled = true
+		case 1:
+			j.degraded = true
+		}
+		jobs = append(jobs, j)
+	}
+
+	var wg sync.WaitGroup
+	failures := make(chan string, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			ctx := context.Background()
+			if j.cancelled {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				cancel() // dead before gathering: must come back as ctx.Err()
+			}
+			res, err := b.Submit(ctx, j.spec.r, j.spec.k, j.degraded)
+			switch {
+			case j.cancelled:
+				if !errors.Is(err, context.Canceled) {
+					failures <- fmt.Sprintf("cancelled (%g,%d): got (%v, %v)", j.spec.r, j.spec.k, res, err)
+				}
+			case err != nil:
+				failures <- fmt.Sprintf("(%g,%d): %v", j.spec.r, j.spec.k, err)
+			case res.Degraded:
+				// A degraded answer is only legal for degrade-mode jobs
+				// and must bracket the oracle's exact best score.
+				want := oracle[j.spec]
+				if !j.degraded {
+					failures <- fmt.Sprintf("(%g,%d): degraded answer for non-degrade job", j.spec.r, j.spec.k)
+				} else if res.Interval == nil || res.Interval.LB > want.Best.Score || res.Interval.UB < want.Best.Score {
+					failures <- fmt.Sprintf("degraded (%g,%d): interval %+v does not bracket %d", j.spec.r, j.spec.k, res.Interval, want.Best.Score)
+				}
+			default:
+				if got, want := stable(res), oracle[j.spec]; !reflect.DeepEqual(got, want) {
+					failures <- fmt.Sprintf("(%g,%d): batched %+v != solo %+v", j.spec.r, j.spec.k, got, want)
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+
+	st := b.Stats(false)
+	if st.Queries == 0 || st.Groups == 0 {
+		t.Fatalf("nothing batched: %+v", st)
+	}
+	t.Logf("epochs=%d queries=%d groups=%d plans=%d shared=%d mean_batch=%.1f",
+		st.Epochs, st.Queries, st.Groups, st.Plans, st.SharedWork, st.BatchSize.Mean)
+}

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"time"
@@ -47,8 +50,10 @@ var snapshotDatasets = []string{"Bird", "Neuron"}
 // Snapshot measures "EngineQuery/<ds>/r=<r>" (one full single-core
 // top-1 query) and "Verification/<ds>/r=<r>" (that query's
 // verification phase) on the snapshot datasets across the suite's r
-// sweep, repeating each measurement reps times and recording the
-// median. date is stamped verbatim (the caller owns the clock).
+// sweep, plus "BatchEpoch/<ds>/q=256" (one shared-⌈r⌉ batch group over
+// a 256-query epoch workload, see batchEpochSpecs), repeating each
+// measurement reps times and recording the median. date is stamped
+// verbatim (the caller owns the clock).
 func (s *Suite) Snapshot(date string, reps int) (*Snapshot, error) {
 	if reps < 1 {
 		reps = 1
@@ -103,8 +108,80 @@ func (s *Suite) Snapshot(date string, reps int) (*Snapshot, error) {
 					Metrics: map[string]float64{"dist_comps": metrics["dist_comps"]},
 				})
 		}
+		rec, err := batchEpochRecord(name, eng, s.Rs[0], reps)
+		if err != nil {
+			return nil, err
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rec)
 	}
 	return snap, nil
+}
+
+// batchEpochMembers is the epoch size the snapshot measures: one full
+// closed-loop wave of monitoring clients (cf. mioload -compare -burst).
+const batchEpochMembers = 256
+
+// batchEpochSpecs builds the deterministic epoch the snapshot
+// measures: 256 members drawing Zipf-skewed thresholds from a few
+// variants of r (all keeping ⌈r⌉, so they form one batch group) with a
+// cycling k — many clients, few radii, varying k.
+func batchEpochSpecs(r float64) []core.GroupSpec {
+	const variants, kSpread = 8, 4
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.3, 1, variants-1)
+	rs := make([]float64, variants)
+	step := (r - (math.Ceil(r) - 1)) * 0.5 / variants
+	for i := range rs {
+		rs[i] = r - float64(i)*step
+	}
+	specs := make([]core.GroupSpec, batchEpochMembers)
+	for i := range specs {
+		specs[i] = core.GroupSpec{R: rs[zipf.Uint64()], K: 1 + i%kSpread}
+	}
+	return specs
+}
+
+// batchEpochRecord measures "BatchEpoch/<ds>/q=256": one shared-⌈r⌉
+// group run over the epoch workload. ns_per_op is the median epoch
+// wall time; dist_comps sums the distinct plans' counters, so the
+// deterministic benchdiff gate pins batch-path work exactly the way it
+// pins the query-major records.
+func batchEpochRecord(name string, eng *core.Engine, r float64, reps int) (BenchRecord, error) {
+	specs := batchEpochSpecs(r)
+	times := make([]float64, 0, reps)
+	var (
+		outs []core.GroupOutcome
+		grp  core.GroupReport
+	)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		outs, grp = eng.RunGroup(context.Background(), specs)
+		times = append(times, float64(time.Since(start)))
+	}
+	var dist float64
+	seen := make(map[*core.Result]struct{}, grp.Plans)
+	for i, o := range outs {
+		if o.Err != nil {
+			return BenchRecord{}, fmt.Errorf("snapshot: %s batch epoch member %d (r=%g k=%d): %w",
+				name, i, specs[i].R, specs[i].K, o.Err)
+		}
+		if _, dup := seen[o.Result]; dup {
+			continue
+		}
+		seen[o.Result] = struct{}{}
+		dist += float64(o.Result.Stats.DistanceComps)
+	}
+	return BenchRecord{
+		Name:    fmt.Sprintf("BatchEpoch/%s/q=%d", name, batchEpochMembers),
+		NsPerOp: median(times),
+		Iters:   reps,
+		Metrics: map[string]float64{
+			"dist_comps":     dist,
+			"plans":          float64(grp.Plans),
+			"r_variants":     float64(grp.RVariants),
+			"queries_shared": float64(grp.Members - grp.Plans),
+			"cells_deduped":  float64(grp.CellsDeduped),
+		},
+	}, nil
 }
 
 // WriteJSON renders the snapshot as indented JSON.

@@ -19,8 +19,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if snap.SchemaVersion != SnapshotSchemaVersion || snap.Date != "2026-08-06" {
 		t.Fatalf("header: %+v", snap)
 	}
-	// 2 datasets × 1 r × 2 records (EngineQuery + Verification).
-	if len(snap.Benchmarks) != 4 {
+	// 2 datasets × (1 r × 2 records (EngineQuery + Verification) + 1
+	// BatchEpoch record).
+	if len(snap.Benchmarks) != 6 {
 		t.Fatalf("got %d benchmarks", len(snap.Benchmarks))
 	}
 	names := map[string]bool{}
@@ -33,9 +34,18 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	for _, want := range []string{
 		"EngineQuery/Bird/r=6", "Verification/Bird/r=6",
 		"EngineQuery/Neuron/r=6", "Verification/Neuron/r=6",
+		"BatchEpoch/Bird/q=256", "BatchEpoch/Neuron/q=256",
 	} {
 		if !names[want] {
 			t.Fatalf("missing %q in %v", want, names)
+		}
+	}
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BatchEpoch/") {
+			continue
+		}
+		if b.Metrics["plans"] <= 0 || b.Metrics["queries_shared"] <= 0 || b.Metrics["dist_comps"] <= 0 {
+			t.Fatalf("batch epoch record lacks sharing metrics: %+v", b)
 		}
 	}
 

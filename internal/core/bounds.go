@@ -103,6 +103,15 @@ type candidate struct {
 // (Algorithm 5) and its WITH-LABEL variant. It returns O_cand sorted by
 // descending upper bound.
 func (q *query) upperBounding(threshold int) []candidate {
+	q.computeUpperBounds()
+	return q.assembleCandidates(threshold)
+}
+
+// computeUpperBounds fills q.tauUpp (Lemma 2). τ^upp is a function of
+// the large grid and the labels alone — both determined by ⌈r⌉, not
+// the exact r — so group runs (batch.go) execute this once per
+// shared-⌈r⌉ group and share the vector across every member.
+func (q *query) computeUpperBounds() {
 	q.tauUpp = make([]int32, q.n)
 	if q.e.opts.workers() > 1 {
 		q.parallelUpperBounding()
@@ -123,6 +132,13 @@ func (q *query) upperBounding(threshold int) []candidate {
 		q.ubDone = complete
 		q.addCounters([]ctrSet{ctr})
 	}
+}
+
+// assembleCandidates builds O_cand from the bound vectors: every
+// object with τ^upp ≥ threshold, sorted by descending upper bound
+// with the object id breaking ties so the order — and with it the
+// best-first verification sequence — is deterministic.
+func (q *query) assembleCandidates(threshold int) []candidate {
 	cand := make([]candidate, 0, q.n/4+1)
 	for i := 0; i < q.n; i++ {
 		if int(q.tauUpp[i]) >= threshold {

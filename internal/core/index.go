@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +85,20 @@ type query struct {
 
 	// ctx carries the caller's cancellation; nil means background.
 	ctx context.Context
+	// cancelCheck, when non-nil, is consulted by cancelled() before
+	// ctx. Group runs (batch.go) install it so a shared pass is
+	// abandoned once every member that needs it has detached, without
+	// tying the pass to any single member's context.
+	cancelCheck func() bool
+
+	// adjBase, when non-nil, switches verification's AdjComputed
+	// accounting to group mode (see noteAdj): it holds the cells whose
+	// b^adj already existed when the group's shared upper-bounding pass
+	// finished. adjSeen (guarded by adjMu: parallel verification
+	// workers race on it) dedupes the cells this query has counted.
+	adjBase map[grid.Key]struct{}
+	adjMu   sync.Mutex
+	adjSeen map[grid.Key]struct{}
 
 	// Degraded-answer bookkeeping (RunTopKDegradedContext). degradeOK
 	// opts in; the completion flags record which phases ran to the end
@@ -124,6 +139,9 @@ func (q *query) ceilR() int { return int(math.Ceil(q.r)) }
 // cancelled reports whether the caller has abandoned the query. Hot
 // loops call this every few hundred objects, not per item.
 func (q *query) cancelled() bool {
+	if q.cancelCheck != nil && q.cancelCheck() {
+		return true
+	}
 	if q.ctx == nil {
 		return false
 	}
@@ -305,24 +323,50 @@ func (q *query) buildRange(lo, hi int) *bigrid {
 			b.large.Add(i, j, p)
 		}
 	}
-	// Derive the point groups P_{i,K} from the inverted lists — each
-	// posting is exactly one group, so the grouping the parallel phases
-	// need comes for free from grid building (§IV). The group's point
-	// slice aliases the posting's index slice; both are read-only after
-	// construction. Cells are visited in sorted key order, NOT map
-	// order: group order drives the parallel phases' greedy partitions
-	// and the round-robin point assignment of parallel verification, so
-	// map-order iteration would make work counters (distComps in
-	// particular) differ run to run for identical queries.
-	keys := make([]grid.Key, 0, b.large.Len())
-	b.large.ForEach(func(k grid.Key, _ *grid.LargeCell) { keys = append(keys, k) })
+	deriveGroups(b.large, b.groups)
+	return b
+}
+
+// deriveGroups derives the point groups P_{i,K} from the inverted
+// lists — each posting is exactly one group, so the grouping the
+// parallel phases need comes for free from grid building (§IV). The
+// group's point slice aliases the posting's index slice; both are
+// read-only after construction. Cells are visited in sorted key order,
+// NOT map order: group order drives the parallel phases' greedy
+// partitions and the round-robin point assignment of parallel
+// verification, so map-order iteration would make work counters
+// (distComps in particular) differ run to run for identical queries —
+// and differ between the solo and group (batch.go) paths, which both
+// call this.
+func deriveGroups(large *grid.LargeGrid, groups [][]pointGroup) {
+	keys := make([]grid.Key, 0, large.Len())
+	large.ForEach(func(k grid.Key, _ *grid.LargeCell) { keys = append(keys, k) })
 	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
 	for _, k := range keys {
-		c := b.large.Cell(k)
+		c := large.Cell(k)
 		for pi := range c.Postings {
 			post := &c.Postings[pi]
-			b.groups[post.Obj] = append(b.groups[post.Obj], pointGroup{key: k, pts: post.Idx})
+			groups[post.Obj] = append(groups[post.Obj], pointGroup{key: k, pts: post.Idx})
 		}
 	}
-	return b
+}
+
+// deriveKeyLists derives the per-object key lists from a merged small
+// grid: o_i.L = {K : i ∈ b(c_K), |b(c_K)| ≥ 2}, the invariant
+// Algorithm 3 maintains incrementally on full builds. List order
+// follows map iteration and so differs run to run, but nothing
+// observable depends on it: the lists feed set unions, and the
+// parallel partitions they weight only move work between cores.
+func deriveKeyLists(small *grid.SmallGrid, n int) [][]grid.Key {
+	keyLists := make([][]grid.Key, n)
+	small.ForEach(func(k grid.Key, c *grid.SmallCell) {
+		if c.B.Cardinality() < 2 {
+			return
+		}
+		c.B.ForEach(func(obj int) bool {
+			keyLists[obj] = append(keyLists[obj], k)
+			return true
+		})
+	})
+	return keyLists
 }

@@ -40,16 +40,7 @@ func (q *query) parallelGridMapping() {
 			}
 		}
 	}
-	base.keyLists = make([][]grid.Key, q.n)
-	base.small.ForEach(func(k grid.Key, c *grid.SmallCell) {
-		if c.B.Cardinality() < 2 {
-			return
-		}
-		c.B.ForEach(func(obj int) bool {
-			base.keyLists[obj] = append(base.keyLists[obj], k)
-			return true
-		})
-	})
+	base.keyLists = deriveKeyLists(base.small, q.n)
 	q.idx = base
 }
 

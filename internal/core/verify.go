@@ -122,9 +122,14 @@ func (q *query) scorePoint(i, j int, p geom.Point, bOi, mask *bitmap.Scratch, ne
 			// now (§III-D, VERIFICATION-WITH-LABEL).
 			var fresh bool
 			adj, fresh = q.idx.large.ComputeAdj(k)
-			if fresh {
+			if q.noteAdj(k, fresh) {
 				ctr.adjComputed++
 			}
+		} else if q.adjBase != nil && q.noteAdj(k, false) {
+			// On a shared grid another plan may have materialised this
+			// cell's b^adj already; the replay accounting still charges
+			// it to this query if a private grid would have.
+			ctr.adjComputed++
 		}
 		mask.AndNotFromCompressed(adj, bOi)
 		st.lastKey, st.maskValid = k, true
@@ -147,6 +152,34 @@ func (q *query) scorePoint(i, j int, p geom.Point, bOi, mask *bitmap.Scratch, ne
 			return
 		}
 	}
+}
+
+// noteAdj decides whether a verification-phase visit to cell k's
+// adjacency bitset counts toward this query's AdjComputed. A solo
+// query owns its grid, so grid freshness is the answer. Group runs
+// (batch.go) share one large grid across member plans: freshness would
+// credit whichever plan reached the cell first, so accounting switches
+// to a per-query replay — every visit to a cell outside adjBase (the
+// set whose b^adj existed when the shared upper-bounding pass
+// finished) counts exactly once per query, which is what a private
+// grid would have charged.
+func (q *query) noteAdj(k grid.Key, fresh bool) bool {
+	if q.adjBase == nil {
+		return fresh
+	}
+	if _, had := q.adjBase[k]; had {
+		return false
+	}
+	q.adjMu.Lock()
+	defer q.adjMu.Unlock()
+	if _, dup := q.adjSeen[k]; dup {
+		return false
+	}
+	if q.adjSeen == nil {
+		q.adjSeen = make(map[grid.Key]struct{})
+	}
+	q.adjSeen[k] = struct{}{}
+	return true
 }
 
 // probeCell runs the distance computations of Algorithm 6 lines 13-17:

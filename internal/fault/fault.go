@@ -54,6 +54,18 @@ const (
 	PointUpperBounding = "engine.upper_bounding"
 	PointVerification  = "engine.verification"
 
+	// PointEpochClose fires when a batch epoch is sealed, before its
+	// groups dispatch; an error here fails every query gathered into
+	// the epoch.
+	PointEpochClose = "batch.epoch_close"
+	// PointGroupBuild fires at the start of one shared-⌈r⌉ group run,
+	// before the group's shared label input and grid build.
+	PointGroupBuild = "batch.group_build"
+	// PointCellWalk fires before a group's shared cell walk — the pass
+	// that freezes the union of every member's candidate cells exactly
+	// once.
+	PointCellWalk = "batch.cell_walk"
+
 	// PointIOWrite .. PointIODirSync fire inside internal/durable's
 	// atomic file commit, in commit order: while the payload is written
 	// to the *.tmp file, before the file Sync, before the rename onto

@@ -68,7 +68,7 @@ func joinLock(a, b lockFact) lockFact {
 
 // LockCheckAnalyzer enforces mutex discipline on every syntactic path
 // through the packages where locks guard the serving stack
-// (internal/server, labelstore, breaker by default). Built on the CFG
+// (internal/server, internal/batch, labelstore, breaker by default). Built on the CFG
 // + forward dataflow engine, per function (literals included, each as
 // its own function), it reports:
 //
@@ -96,7 +96,7 @@ func joinLock(a, b lockFact) lockFact {
 // are likewise out of scope.
 func LockCheckAnalyzer(pathRe *regexp.Regexp) *Analyzer {
 	if pathRe == nil {
-		pathRe = regexp.MustCompile(`internal/server|labelstore|breaker`)
+		pathRe = regexp.MustCompile(`internal/server|internal/batch|labelstore|breaker`)
 	}
 	a := &Analyzer{
 		Name: "lockcheck",

@@ -4,9 +4,10 @@
 package fault
 
 const (
-	PointAlpha = "alpha.step"
-	PointBeta  = "beta.step"
-	PointDead  = "gamma.dead" // want "never fired outside tests"
+	PointAlpha      = "alpha.step"
+	PointBeta       = "beta.step"
+	PointEpochClose = "batch.epoch_close"
+	PointDead       = "gamma.dead" // want "never fired outside tests"
 )
 
 // Rule arms one injection point.
@@ -38,4 +39,10 @@ func driver(r *Registry) {
 	r.Arm(Rule{Point: PointAlpha, P: 1})
 	r.Arm(Rule{Point: "beta.step", P: 1}) // want "spelled as a string literal"
 	r.Arm(Rule{Point: "nope.step", P: 1}) // want "unknown injection point"
+
+	// Epoch-style point: fired through the constant and armed via flag
+	// syntax, like the batch engine's epoch-close hook.
+	_ = r.Fire(PointEpochClose)
+	_, _ = Parse("seed=7;batch.epoch_close=error:0.05")
+	_ = r.Fire("batch.epoch_clsoe") // want "unknown injection point"
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"mio/internal/batch"
 	"mio/internal/core"
 	"mio/internal/data"
 	"mio/internal/fault"
@@ -28,6 +29,7 @@ type queryResponse struct {
 	Epoch     uint64       `json:"dataset_epoch"`
 	Cached    bool         `json:"cached"`
 	Coalesced bool         `json:"coalesced"`
+	Batched   bool         `json:"batched,omitempty"`
 	Result    *core.Result `json:"result"`
 }
 
@@ -130,6 +132,7 @@ type MetricsSnapshot struct {
 	Degraded          uint64                      `json:"degraded_total"`
 	SwapBreaker       BreakerStats                `json:"swap_breaker"`
 	FaultsFired       map[string]uint64           `json:"faults_fired,omitempty"`
+	Batch             *batch.Stats                `json:"batch,omitempty"`
 	Cache             CacheStats                  `json:"cache"`
 	HTTPLatency       map[string]metrics.Snapshot `json:"http_latency"`
 	PhaseLatency      map[string]metrics.Snapshot `json:"phase_latency"`
@@ -218,6 +221,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	degrade := req.URL.Query().Get("degraded") == "1"
 	epoch := s.epoch.Load()
 	key := fmt.Sprintf("%d|query|%s|%d|d%v", epoch, rKey(r), k, degrade)
+	if s.batch != nil {
+		s.handleQueryBatched(w, req, r, k, degrade, epoch, key)
+		return
+	}
 	val, cached, coalesced, err := s.execute(key, func() (any, error) {
 		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
 			var res *core.Result
@@ -243,6 +250,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, queryResponse{
 		R: r, K: k, Epoch: epoch, Cached: cached, Coalesced: coalesced,
 		Result: val.(*core.Result),
+	})
+}
+
+// handleQueryBatched is the /v1/query path when batch execution is on:
+// cache lookup, then Submit into the current epoch instead of a solo
+// engine run. Coalescing is subsumed — identical (r, k) members of a
+// group share one plan and one *Result — so the flight group is not
+// consulted. The per-request deadline is applied here (the solo path
+// gets it inside withEngine) so a member's detach-on-expiry works even
+// while its group still has engine budget left.
+func (s *Server) handleQueryBatched(w http.ResponseWriter, req *http.Request, r float64, k int, degrade bool, epoch uint64, key string) {
+	if !s.cfg.DisableCache {
+		if v, ok := s.cache.Get(key); ok {
+			writeJSON(w, http.StatusOK, queryResponse{
+				R: r, K: k, Epoch: epoch, Cached: true, Batched: true,
+				Result: v.(*core.Result),
+			})
+			return
+		}
+	}
+	ctx := req.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	res, err := s.batch.Submit(ctx, r, k, degrade)
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	if res.Degraded {
+		s.m.degraded.Inc()
+	}
+	if !s.cfg.DisableCache && cacheable(res) {
+		s.cache.Put(key, res)
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		R: r, K: k, Epoch: epoch, Batched: true, Result: res,
 	})
 }
 
@@ -463,6 +509,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 			Refused:             s.m.swapRefused.Value(),
 		},
 		FaultsFired: s.cfg.Faults.Counts(),
+		Batch:       s.batchStats(withBuckets),
 		Cache: CacheStats{
 			Enabled: !s.cfg.DisableCache, Hits: hits, Misses: misses,
 			Evictions: evictions, Size: s.cache.Len(), Capacity: s.cache.Cap(),
@@ -478,6 +525,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		snap.PhaseLatency[p] = s.m.phaseLat[p].Snapshot(withBuckets)
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// batchStats snapshots the batch engine for /metrics, or nil when
+// batch execution is off.
+func (s *Server) batchStats(withBuckets bool) *batch.Stats {
+	if s.batch == nil {
+		return nil
+	}
+	st := s.batch.Stats(withBuckets)
+	return &st
 }
 
 // ---- parsing and writing helpers ----

@@ -52,6 +52,16 @@ type Config struct {
 	// RetryBase is the backoff before the first retry; it doubles per
 	// attempt and each sleep is capped at 2s. Default 50ms.
 	RetryBase time.Duration
+	// Burst switches from the open loop to closed-loop waves: all
+	// Concurrency workers fire one request simultaneously, everyone
+	// waits for the slowest, then the next wave starts. This is the
+	// shape batch execution feeds on — a standing set of in-flight
+	// queries for each epoch to gather — and the adversarial case for
+	// a cache (every wave misses until thresholds repeat).
+	Burst bool
+	// KSpread, when > 1, cycles each worker's k over 1..KSpread instead
+	// of the fixed K, so grouped queries carry distinct (r, k) plans.
+	KSpread int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +111,14 @@ type Report struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	Rejected    uint64 // admission-control 429s
+
+	// Batch-execution deltas, zero unless the server runs with
+	// Config.BatchExecution (the /metrics batch section).
+	BatchEpochs       uint64
+	BatchQueries      uint64
+	BatchPlans        uint64
+	BatchShared       uint64 // queries answered by a groupmate's plan
+	BatchCellsDeduped int64  // duplicate cell visits avoided by shared walks
 }
 
 // String renders the report as the human-readable block cmd/mioload
@@ -130,6 +148,13 @@ func (r Report) String() string {
 	if r.Rejected > 0 {
 		fmt.Fprintf(&b, "  rejected 429  %d\n", r.Rejected)
 	}
+	if r.BatchQueries > 0 {
+		avg := float64(r.BatchQueries) / float64(r.BatchEpochs)
+		fmt.Fprintf(&b, "  batch         %d epochs, %d queries (avg %.1f/epoch)\n",
+			r.BatchEpochs, r.BatchQueries, avg)
+		fmt.Fprintf(&b, "  batch plans   %d (%d shared), %d cell visits deduped\n",
+			r.BatchPlans, r.BatchShared, r.BatchCellsDeduped)
+	}
 	return b.String()
 }
 
@@ -155,6 +180,54 @@ func (p *picker) next() int {
 	return p.rng.Intn(p.n)
 }
 
+// workerOut accumulates one client worker's observations.
+type workerOut struct {
+	lat     []time.Duration
+	status  map[int]int
+	errs    int
+	retries int
+}
+
+// worker is one client worker: its own picker (reproducible draws),
+// its own request counter (drives the k cycle) and its own output, so
+// no two goroutines share state.
+type worker struct {
+	id   int // phase-shifts the k cycle so a burst wave spans all k values
+	pick *picker
+	seq  int
+	out  workerOut
+}
+
+// one issues a single logical request, retrying 429/503 with backoff.
+// Latency is measured across the whole logical request, backoff sleeps
+// included — what a retrying client actually experiences.
+func (w *worker) one(client *http.Client, cfg Config) {
+	r := cfg.RValues[w.pick.next()]
+	k := cfg.K
+	if cfg.KSpread > 1 {
+		k = 1 + (w.id+w.seq)%cfg.KSpread
+	}
+	w.seq++
+	url := fmt.Sprintf("%s/v1/query?r=%g&k=%d", cfg.BaseURL, r, k)
+	q0 := time.Now()
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			w.out.errs++
+			return
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if !retryable(resp.StatusCode) || attempt >= cfg.MaxAttempts {
+			w.out.lat = append(w.out.lat, time.Since(q0))
+			w.out.status[resp.StatusCode]++
+			return
+		}
+		w.out.retries++
+		time.Sleep(backoff(cfg, attempt, retryAfter, w.pick.rng))
+	}
+}
+
 // Run executes the workload and gathers the report. The server's
 // /metrics endpoint is read before and after to compute serving
 // deltas, so concurrent external traffic would pollute them.
@@ -166,55 +239,53 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: server unreachable: %w", err)
 	}
 
-	type workerOut struct {
-		lat     []time.Duration
-		status  map[int]int
-		errs    int
-		retries int
-	}
-	outs := make([]workerOut, cfg.Concurrency)
-	var wg sync.WaitGroup
-	share := cfg.Requests / cfg.Concurrency
-	extra := cfg.Requests % cfg.Concurrency
-	t0 := time.Now()
-	for w := 0; w < cfg.Concurrency; w++ {
-		n := share
-		if w < extra {
-			n++
+	ws := make([]*worker, cfg.Concurrency)
+	for w := range ws {
+		ws[w] = &worker{
+			id:   w,
+			pick: newPicker(cfg, cfg.Seed+int64(w)*7919),
+			out:  workerOut{status: make(map[int]int)},
 		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			pick := newPicker(cfg, cfg.Seed+int64(w)*7919)
-			out := workerOut{status: make(map[int]int), lat: make([]time.Duration, 0, n)}
-			for i := 0; i < n; i++ {
-				r := cfg.RValues[pick.next()]
-				url := fmt.Sprintf("%s/v1/query?r=%g&k=%d", cfg.BaseURL, r, cfg.K)
-				// Latency is measured across the whole logical request,
-				// backoff sleeps included — what a retrying client
-				// actually experiences.
-				q0 := time.Now()
-				for attempt := 1; ; attempt++ {
-					resp, err := client.Get(url)
-					if err != nil {
-						out.errs++
-						break
-					}
-					retryAfter := resp.Header.Get("Retry-After")
-					resp.Body.Close()
-					if !retryable(resp.StatusCode) || attempt >= cfg.MaxAttempts {
-						out.lat = append(out.lat, time.Since(q0))
-						out.status[resp.StatusCode]++
-						break
-					}
-					out.retries++
-					time.Sleep(backoff(cfg, attempt, retryAfter, pick.rng))
-				}
-			}
-			outs[w] = out
-		}(w, n)
 	}
-	wg.Wait()
+	t0 := time.Now()
+	if cfg.Burst {
+		// Closed loop: every wave puts Concurrency requests in flight at
+		// once and waits for the slowest before the next wave.
+		for issued := 0; issued < cfg.Requests; {
+			m := cfg.Concurrency
+			if rest := cfg.Requests - issued; m > rest {
+				m = rest
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < m; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ws[w].one(client, cfg)
+				}(w)
+			}
+			wg.Wait()
+			issued += m
+		}
+	} else {
+		var wg sync.WaitGroup
+		share := cfg.Requests / cfg.Concurrency
+		extra := cfg.Requests % cfg.Concurrency
+		for w := 0; w < cfg.Concurrency; w++ {
+			n := share
+			if w < extra {
+				n++
+			}
+			wg.Add(1)
+			go func(w, n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					ws[w].one(client, cfg)
+				}
+			}(w, n)
+		}
+		wg.Wait()
+	}
 	elapsed := time.Since(t0)
 
 	after, err := fetchMetrics(client, cfg.BaseURL)
@@ -224,13 +295,13 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{Requests: cfg.Requests, Status: make(map[int]int), Elapsed: elapsed}
 	var lats []time.Duration
-	for _, out := range outs {
-		rep.Errors += out.errs
-		rep.Retries += out.retries
-		for c, n := range out.status {
+	for _, w := range ws {
+		rep.Errors += w.out.errs
+		rep.Retries += w.out.retries
+		for c, n := range w.out.status {
 			rep.Status[c] += n
 		}
-		lats = append(lats, out.lat...)
+		lats = append(lats, w.out.lat...)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	rep.P50, rep.P90, rep.P99 = quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99)
@@ -245,6 +316,13 @@ func Run(cfg Config) (*Report, error) {
 	rep.CacheHits = after.Cache.Hits - before.Cache.Hits
 	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
 	rep.Rejected = after.AdmissionRejected - before.AdmissionRejected
+	if before.Batch != nil && after.Batch != nil {
+		rep.BatchEpochs = after.Batch.Epochs - before.Batch.Epochs
+		rep.BatchQueries = after.Batch.Queries - before.Batch.Queries
+		rep.BatchPlans = after.Batch.Plans - before.Batch.Plans
+		rep.BatchShared = after.Batch.SharedWork - before.Batch.SharedWork
+		rep.BatchCellsDeduped = after.Batch.CellsDeduped.Sum - before.Batch.CellsDeduped.Sum
+	}
 	return rep, nil
 }
 

@@ -174,3 +174,97 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PowerOfTwoBounds returns 1, 2, 4, .. up to the first power of two
+// covering max — the natural bucket ladder for size-like quantities
+// (batch sizes, cell counts).
+func PowerOfTwoBounds(max int64) []int64 {
+	var bounds []int64
+	for b := int64(1); ; b <<= 1 {
+		bounds = append(bounds, b)
+		if b >= max {
+			return bounds
+		}
+	}
+}
+
+// IntHistogram is a cumulative-bucket histogram over integer values
+// (counts, sizes), the dimensionless sibling of Histogram.
+type IntHistogram struct {
+	mu     sync.Mutex
+	bounds []int64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    int64
+	count  uint64
+}
+
+// NewIntHistogram returns a histogram over the given ascending bucket
+// upper bounds; nil selects PowerOfTwoBounds(4096).
+func NewIntHistogram(bounds []int64) *IntHistogram {
+	if bounds == nil {
+		bounds = PowerOfTwoBounds(4096)
+	}
+	return &IntHistogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *IntHistogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// IntBucket is one IntHistogram bucket on the wire; Le < 0 marks the
+// +Inf bucket.
+type IntBucket struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// IntSnapshot is a point-in-time JSON-friendly view of an
+// IntHistogram.
+type IntSnapshot struct {
+	Count   uint64      `json:"count"`
+	Sum     int64       `json:"sum"`
+	Mean    float64     `json:"mean"`
+	Max     int64       `json:"max_le"` // upper bound of the highest non-empty bucket; -1 for +Inf
+	Buckets []IntBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current state; withBuckets includes the raw
+// bucket counts.
+func (h *IntHistogram) Snapshot(withBuckets bool) IntSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := IntSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(h.bounds) {
+			s.Max = h.bounds[i]
+		} else {
+			s.Max = -1
+		}
+	}
+	if withBuckets {
+		s.Buckets = make([]IntBucket, 0, len(h.counts))
+		for i, c := range h.counts {
+			b := IntBucket{Le: -1, Count: c}
+			if i < len(h.bounds) {
+				b.Le = h.bounds[i]
+			}
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	return s
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mio/internal/batch"
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
@@ -97,6 +98,21 @@ type Config struct {
 	// options already carry their own registry. Production servers
 	// leave it nil.
 	Faults *fault.Registry
+	// BatchExecution routes /v1/query through the epoch-driven batch
+	// engine (internal/batch): concurrent queries gather into epochs,
+	// group by ⌈r⌉ and share one index build and cell walk per group.
+	// It generalises request coalescing — flight collapses identical
+	// requests, an epoch collapses similar ones — and per-query results
+	// stay bitwise identical to the query-major path. Other endpoints
+	// keep the solo path.
+	BatchExecution bool
+	// BatchWindow is the epoch gather window; 0 selects
+	// batch.DefaultWindow. Ignored unless BatchExecution is set.
+	BatchWindow time.Duration
+	// BatchMaxSize seals an epoch early once it holds this many
+	// queries; 0 selects batch.DefaultMaxBatch. Ignored unless
+	// BatchExecution is set.
+	BatchMaxSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +168,12 @@ type Server struct {
 
 	flight flight.Group
 	cache  *cache.Cache
+
+	// batch, when non-nil, is the epoch-driven cross-query executor
+	// /v1/query routes through (Config.BatchExecution). Its group runs
+	// go through withEngine, so admission, panic quarantine and swap
+	// drain apply to batched work exactly as to solo queries.
+	batch *batch.Engine
 
 	// drainMu realises graceful drain: every request holds the read
 	// lock for its duration; Drain takes the write lock, which waits
@@ -259,7 +281,53 @@ func newFromPool(ds *data.Dataset, engOpts core.Options, engines []*core.Engine,
 	}
 	s.ds.Store(ds)
 	s.tmpl.Store(&engineTemplate{ds: ds, opts: engOpts})
+	if cfg.BatchExecution {
+		// batch.New only fails on a nil RunFunc, which s.runGroup is not.
+		s.batch, _ = batch.New(batch.Config{
+			Window:   cfg.BatchWindow,
+			MaxBatch: cfg.BatchMaxSize,
+			Faults:   cfg.Faults,
+			Run:      s.runGroup,
+		})
+	}
 	return s
+}
+
+// runGroup executes one shared-⌈r⌉ batch group. It takes no caller
+// context on purpose: per-member deadlines live inside each
+// GroupSpec.Ctx, and the group as a whole runs under the server's
+// QueryTimeout applied by withEngine — the same budget a solo query
+// gets. Running through withEngine also means a panicking group
+// quarantines its engine and refills the slot before the batch
+// engine's own recovery fails the group's members, so the blast radius
+// of a poisoned query is one group of one epoch.
+func (s *Server) runGroup(specs []core.GroupSpec) ([]core.GroupOutcome, core.GroupReport, error) {
+	type groupValue struct {
+		outs []core.GroupOutcome
+		rep  core.GroupReport
+	}
+	v, err := s.withEngine(context.Background(), func(ctx context.Context, eng *core.Engine) (any, error) {
+		outs, rep := eng.RunGroup(ctx, specs)
+		return groupValue{outs, rep}, nil
+	})
+	if err != nil {
+		return nil, core.GroupReport{}, err
+	}
+	gv := v.(groupValue)
+	// Members sharing a plan share one *Result; observe each distinct
+	// result once so the phase histograms count pipelines, not fan-out.
+	seen := make(map[*core.Result]struct{}, len(gv.outs))
+	for _, o := range gv.outs {
+		if o.Err != nil || o.Result == nil {
+			continue
+		}
+		if _, dup := seen[o.Result]; dup {
+			continue
+		}
+		seen[o.Result] = struct{}{}
+		s.observePhases(o.Result.Stats)
+	}
+	return gv.outs, gv.rep, nil
 }
 
 // Dataset returns the currently served dataset.
@@ -346,6 +414,12 @@ func (s *Server) Drain() {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	if s.batch != nil {
+		// No request is in flight past this point (the write lock waited
+		// them out) so no epoch holds pending members; Close just stops
+		// the gather machinery.
+		s.batch.Close()
+	}
 }
 
 // acquire obtains an engine slot, queueing up to AdmissionWait.

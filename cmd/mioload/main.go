@@ -7,18 +7,27 @@
 //
 //	mioload -url http://localhost:8080 -n 2000 -c 16 -rs 4,5,6 -skew 1.3
 //	mioload -compare -scale 0.25       # self-contained A/B benchmark
+//	mioload -compare -shards 4         # sharded: healthy vs fault-injected
 //
 // -compare needs no running server: it generates a Syn-style dataset,
 // starts two in-process servers — one with the full serving stack,
 // one with caching and coalescing disabled — and runs the identical
 // workload against both, demonstrating what the serving layer buys on
-// a repeated-threshold workload.
+// a repeated-threshold workload. With -shards it instead compares a
+// healthy sharded cluster against the same cluster under injected
+// shard faults, surfacing the degraded-answer rate and the
+// retry/hedge work the coordinator spent staying available.
+//
+// Against a sharded server the per-run report always includes the
+// degraded-answer rate and retry/hedge/down counts observed over the
+// run (the shards section of /metrics).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
@@ -28,6 +37,7 @@ import (
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
+	"mio/internal/fault"
 	"mio/internal/server"
 	"mio/internal/server/loadgen"
 )
@@ -49,6 +59,7 @@ func main() {
 		pool    = flag.Int("inflight", 2, "engine pool size for -compare")
 		burst   = flag.Bool("burst", false, "closed-loop waves: all -c workers fire simultaneously and wait for the slowest (with -compare: batch execution vs query-major)")
 		kspread = flag.Int("kspread", 0, "cycle each worker's k over 1..kspread instead of fixed -k (>1 enables)")
+		shards  = flag.Int("shards", 0, "with -compare: A/B a healthy sharded cluster vs the same cluster under injected shard faults (>0 enables)")
 	)
 	flag.Parse()
 
@@ -70,10 +81,16 @@ func main() {
 		KSpread:     *kspread,
 	}
 
+	if *shards > 0 && !*compare {
+		fatal("-shards requires -compare (point -url at a sharded miosrv for live runs)")
+	}
 	if *compare {
-		if *burst {
+		switch {
+		case *shards > 0:
+			runCompareShards(cfg, *scale, *workers, *pool, *shards)
+		case *burst:
 			runCompareBatch(cfg, *scale, *workers, *pool)
-		} else {
+		default:
 			runCompare(cfg, *scale, *workers, *pool)
 		}
 		return
@@ -223,6 +240,97 @@ func runCompareBatch(cfg loadgen.Config, scale float64, workers, pool int) {
 	if batched.BatchQueries == 0 || plain.QPS <= 0 || batched.QPS < 2*plain.QPS {
 		fmt.Println("  NOTE: expected batched queries > 0 and ≥2x batch throughput; " +
 			"try more concurrency (-c), thresholds sharing ⌈r⌉ (-rs), or a larger dataset (-scale)")
+		os.Exit(1)
+	}
+}
+
+// runCompareShards benchmarks a healthy sharded cluster against the
+// identical cluster with faults injected into the per-shard bound
+// attempts (errors force retries and shard-down degradation, latency
+// triggers the hedged scatter). Cache and coalescing are off on both
+// sides so every request exercises the scatter path; the delta
+// surfaces what fault tolerance costs (retries, hedges) and what it
+// preserves (200s with certified intervals instead of 5xx).
+func runCompareShards(cfg loadgen.Config, scale float64, workers, pool, shards int) {
+	gen := data.DefaultSyn()
+	gen.N = int(float64(gen.N) * scale)
+	if gen.N < 1 {
+		gen.N = 1
+	}
+	ds := data.GenPowerLaw(gen)
+	fmt.Printf("mioload -compare -shards: %q dataset, %d objects, %d points; %d requests, %d workers, rs=%v skew=%g, %d shards\n",
+		ds.Name, ds.N(), ds.TotalPoints(), cfg.Requests, cfg.Concurrency, cfg.RValues, cfg.Skew, shards)
+
+	run := func(label string, srvCfg server.Config) *loadgen.Report {
+		s, err := server.New(ds, core.Options{Workers: workers, Labels: labelstore.NewStore()}, srvCfg)
+		if err != nil {
+			fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		runCfg := cfg
+		runCfg.BaseURL = ts.URL
+		rep, err := loadgen.Run(runCfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s\n%s", label, rep)
+		return rep
+	}
+
+	base := server.Config{
+		MaxInFlight:     pool,
+		AdmissionWait:   cfg.Timeout,
+		DisableCache:    true,
+		DisableCoalesce: true,
+		Shards:          shards,
+		ShardRetries:    2,
+		// A short breaker cooldown keeps the run moving: tripped shards
+		// (expected under 20% attempt errors) re-probe quickly instead
+		// of sitting open for the 5s production default.
+		ShardBreakCooldown: time.Second,
+	}
+	healthy := run("healthy cluster:", base)
+
+	// Errors make individual bound attempts fail: most are absorbed by
+	// retries, a run of bad luck exhausts a shard's budget (down shard
+	// → degraded answer), and consecutive failures trip its breaker —
+	// exercising every rung of the degradation ladder. Latency makes
+	// attempts straggle past the default hedge trigger (timeout/4 =
+	// 500ms) without reaching the attempt deadline, so the hedged
+	// second attempt is what keeps those queries fast.
+	reg, err := fault.Parse(fmt.Sprintf(
+		"seed=%d;shard.run=error:0.2;shard.run=latency:0.2:600ms", cfg.Seed))
+	if err != nil {
+		fatal(err)
+	}
+	faulted := base
+	faulted.Faults = reg
+	chaos := run("same cluster, faults injected into shard attempts:", faulted)
+
+	fmt.Printf("\nsummary:\n")
+	okHealthy, okChaos := healthy.Status[http.StatusOK], chaos.Status[http.StatusOK]
+	rate := 0.0
+	if okChaos > 0 {
+		rate = 100 * float64(chaos.ShardDegraded) / float64(okChaos)
+	}
+	fmt.Printf("  degraded      %d vs %d of %d 200s (%.1f%%) — certified intervals, not 5xx\n",
+		healthy.ShardDegraded, chaos.ShardDegraded, okChaos, rate)
+	fmt.Printf("  shard faults  %d vs %d retries, %d vs %d hedges, %d vs %d down/late outcomes\n",
+		healthy.ShardRetries, chaos.ShardRetries,
+		healthy.ShardHedges, chaos.ShardHedges,
+		healthy.ShardDowns, chaos.ShardDowns)
+	if !healthy.Sharded || !chaos.Sharded {
+		fmt.Println("  NOTE: server did not report a shards metrics section; is Config.Shards wired?")
+		os.Exit(1)
+	}
+	if healthy.ShardDegraded > 0 || okHealthy == 0 {
+		fmt.Println("  NOTE: expected zero degraded answers on the healthy cluster")
+		os.Exit(1)
+	}
+	if chaos.ShardRetries+chaos.ShardHedges == 0 || okChaos == 0 {
+		fmt.Println("  NOTE: expected injected faults to cost retries or hedges and still serve 200s; " +
+			"try more requests (-n) or a different -seed")
 		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@
 //	miosrv -data d.bin -no-cache -no-coalesce  # measure the raw engine
 //	miosrv -gen syn -faults 'seed=42;engine.verification=panic:0.01'  # chaos mode
 //	miosrv -gen syn -state-dir ./state    # durable: restarts recover dataset + labels
+//	miosrv -gen syn -shards 4             # fault-tolerant sharded scatter–gather
 //
 // With -state-dir the server keeps its state in a crash-safe snapshot
 // directory: the dataset (and every label set queries compute) is
@@ -68,6 +69,11 @@ func main() {
 		batchOn  = flag.Bool("batch", false, "route /v1/query through epoch-driven batch execution (queries sharing ⌈r⌉ share one index build and cell walk)")
 		batchWin = flag.Duration("batch-window", 0, "batch epoch gather window (0 selects the default 2ms; needs -batch)")
 		batchMax = flag.Int("batch-max", 0, "seal a batch epoch early at this many queries (0 selects the default 128; needs -batch)")
+		shards   = flag.Int("shards", 0, "partition the dataset across this many shard engines behind a fault-tolerant scatter–gather coordinator (0 disables; incompatible with -batch)")
+		shardR   = flag.Float64("shard-max-r", 0, "replica horizon: largest r the shards answer exactly, larger radii fall back to the solo pool (0 selects 10; needs -shards)")
+		shardTO  = flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 selects 2s; needs -shards)")
+		shardTry = flag.Int("shard-retries", 0, "per-shard retry budget after a failed attempt (0 selects 1, negative disables; needs -shards)")
+		shardHdg = flag.Duration("shard-hedge", 0, "launch a speculative extra attempt against a straggling shard after this long (0 selects timeout/4, negative disables; needs -shards)")
 	)
 	flag.Parse()
 
@@ -153,9 +159,20 @@ func main() {
 		BatchExecution:  *batchOn,
 		BatchWindow:     *batchWin,
 		BatchMaxSize:    *batchMax,
+		Shards:          *shards,
+		ShardMaxR:       *shardR,
+		ShardTimeout:    *shardTO,
+		ShardRetries:    *shardTry,
+		ShardHedgeAfter: *shardHdg,
 	}
 	if (*batchWin != 0 || *batchMax != 0) && !*batchOn {
 		fatal("-batch-window/-batch-max require -batch")
+	}
+	if (*shardR != 0 || *shardTO != 0 || *shardTry != 0 || *shardHdg != 0) && *shards == 0 {
+		fatal("-shard-max-r/-shard-timeout/-shard-retries/-shard-hedge require -shards")
+	}
+	if *shards > 0 && *batchOn {
+		fatal("-shards and -batch are mutually exclusive")
 	}
 	srv, err := server.New(ds, opts, cfg)
 	if err != nil {
@@ -168,8 +185,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("miosrv: serving %q (%d objects, %d points) on %s  "+
-		"(pool %d, cache %v, coalesce %v, batch %v)\n",
-		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal, *batchOn)
+		"(pool %d, cache %v, coalesce %v, batch %v, shards %d)\n",
+		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal, *batchOn, *shards)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/shard"
 )
 
 // SnapshotSchemaVersion identifies the BENCH_*.json layout. Bump it on
@@ -113,8 +115,59 @@ func (s *Suite) Snapshot(date string, reps int) (*Snapshot, error) {
 			return nil, err
 		}
 		snap.Benchmarks = append(snap.Benchmarks, rec)
+		srec, err := scatterRecord(name, ds, s.Rs[0], reps)
+		if err != nil {
+			return nil, err
+		}
+		snap.Benchmarks = append(snap.Benchmarks, srec)
 	}
 	return snap, nil
+}
+
+// scatterShards is the cluster size the snapshot measures: the same
+// 4-shard layout the CI chaos suite and the README quickstart use.
+const scatterShards = 4
+
+// scatterRecord measures "Scatter/<ds>/shards=4": one fault-tolerant
+// scatter–gather top-1 query over a healthy 4-shard cluster.
+// ns_per_op is the median query wall time; dist_comps sums the
+// per-shard counters (border objects are re-bounded by every shard
+// holding a replica, so the sum is deterministic but intentionally
+// larger than the solo-engine count — see DESIGN.md §15), which lets
+// the benchdiff gate pin sharded-path work exactly.
+func scatterRecord(name string, ds *data.Dataset, r float64, reps int) (BenchRecord, error) {
+	maxR := math.Ceil(r) + 1 // replica horizon comfortably past the measured radius
+	coord, err := shard.New(ds, core.Options{Workers: 1}, shard.Config{Shards: scatterShards, MaxR: maxR})
+	if err != nil {
+		return BenchRecord{}, fmt.Errorf("snapshot: %s scatter: %w", name, err)
+	}
+	times := make([]float64, 0, reps)
+	var (
+		res *core.Result
+		rep *shard.Report
+	)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, rep, err = coord.Query(context.Background(), r, 1)
+		times = append(times, float64(time.Since(start)))
+		if err != nil {
+			return BenchRecord{}, fmt.Errorf("snapshot: %s scatter r=%g: %w", name, r, err)
+		}
+		if res.Degraded {
+			return BenchRecord{}, fmt.Errorf("snapshot: %s scatter r=%g: degraded answer on a healthy cluster", name, r)
+		}
+	}
+	return BenchRecord{
+		Name:    fmt.Sprintf("Scatter/%s/shards=%d", name, scatterShards),
+		NsPerOp: median(times),
+		Iters:   reps,
+		Metrics: map[string]float64{
+			"dist_comps":    float64(res.Stats.DistanceComps),
+			"candidates":    float64(res.Stats.Candidates),
+			"verified":      float64(res.Stats.Verified),
+			"pruned_shards": float64(rep.Pruned),
+		},
+	}, nil
 }
 
 // batchEpochMembers is the epoch size the snapshot measures: one full

@@ -20,8 +20,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("header: %+v", snap)
 	}
 	// 2 datasets × (1 r × 2 records (EngineQuery + Verification) + 1
-	// BatchEpoch record).
-	if len(snap.Benchmarks) != 6 {
+	// BatchEpoch record + 1 Scatter record).
+	if len(snap.Benchmarks) != 8 {
 		t.Fatalf("got %d benchmarks", len(snap.Benchmarks))
 	}
 	names := map[string]bool{}
@@ -35,6 +35,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		"EngineQuery/Bird/r=6", "Verification/Bird/r=6",
 		"EngineQuery/Neuron/r=6", "Verification/Neuron/r=6",
 		"BatchEpoch/Bird/q=256", "BatchEpoch/Neuron/q=256",
+		"Scatter/Bird/shards=4", "Scatter/Neuron/shards=4",
 	} {
 		if !names[want] {
 			t.Fatalf("missing %q in %v", want, names)
@@ -46,6 +47,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		if b.Metrics["plans"] <= 0 || b.Metrics["queries_shared"] <= 0 || b.Metrics["dist_comps"] <= 0 {
 			t.Fatalf("batch epoch record lacks sharing metrics: %+v", b)
+		}
+	}
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, "Scatter/") {
+			continue
+		}
+		if b.Metrics["dist_comps"] <= 0 {
+			t.Fatalf("scatter record lacks work metrics: %+v", b)
 		}
 	}
 

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mio/internal/core/labelstore"
+	"mio/internal/fault"
+)
+
+// This file implements the split-phase entry point used by the sharded
+// scatter–gather coordinator (internal/shard): Bound runs the pipeline
+// through upper-bounding and pauses, exposing the certified per-object
+// [τ^low, τ^upp] vectors; Complete resumes with a verification
+// threshold floor merged in from the other shards, so candidates whose
+// upper bound cannot reach the global top-k are never verified.
+//
+// The restrict mask threads the border-replica discipline through the
+// pipeline: a shard's dataset holds its primary objects plus halo
+// replicas of neighbouring shards' objects, bounds are computed over
+// all of them (a replica contributes to its neighbours' scores), but
+// only primaries may be reported — so every object is answered by
+// exactly one shard and cross-shard interactions are scored exactly
+// once.
+
+// BoundSet is a paused query whose label-input, grid-mapping,
+// lower-bounding and upper-bounding phases have completed. It is tied
+// to the engine that produced it (same single-query contract as the
+// engine itself) and must be finished with Complete or dropped.
+type BoundSet struct {
+	q *query
+	// threshold is the restricted k-th highest τ^low — the local
+	// verification threshold before the coordinator's floor merges in.
+	threshold int
+}
+
+// Bound runs the pipeline through upper-bounding and pauses. allowed,
+// when non-nil, must have one entry per object; only objects with a
+// set entry may appear in TopLBs or the completed answer. k is clamped
+// to the number of allowed objects. Cancellation returns ctx.Err() —
+// the caller owns degradation policy (it still holds the bounds of
+// every shard that did answer).
+func (e *Engine) Bound(ctx context.Context, r float64, k int, allowed []bool) (*BoundSet, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: distance threshold must be positive, got %g", r)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be at least 1, got %d", k)
+	}
+	n := e.ds.N()
+	if allowed != nil && len(allowed) != n {
+		return nil, fmt.Errorf("core: restrict mask has %d entries for %d objects", len(allowed), n)
+	}
+	if max := countAllowed(allowed, n); k > max {
+		k = max
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("core: restrict mask allows no objects")
+	}
+	q := newQuery(e, r, k)
+	q.ctx = ctx
+	q.restrict = allowed
+
+	if err := q.fire(fault.PointLabelInput); err != nil {
+		return nil, err
+	}
+	if store := e.opts.Labels; store != nil {
+		t0 := time.Now()
+		if l, ok := store.Get(q.ceilR()); ok {
+			q.labels = l
+			q.stats.UsedLabels = true
+			q.stats.LabelBytes = l.SizeBytes()
+		} else if !e.opts.DisableCollect {
+			counts := make([]int, q.n)
+			for i := range e.ds.Objects {
+				counts[i] = len(e.ds.Objects[i].Pts)
+			}
+			q.newLabels = labelstore.NewLabels(counts)
+		}
+		q.stats.LabelInput = time.Since(t0)
+	}
+
+	if err := q.fire(fault.PointGridMapping); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	q.gridMapping()
+	q.stats.GridMapping = time.Since(t0)
+	q.stats.SmallCells = q.idx.small.Len()
+	q.stats.LargeCells = q.idx.large.Len()
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	if err := q.fire(fault.PointLowerBounding); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	threshold := q.lowerBounding()
+	q.stats.LowerBounding = time.Since(t0)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+
+	if err := q.fire(fault.PointUpperBounding); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	q.computeUpperBounds()
+	q.stats.UpperBounding = time.Since(t0)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+	return &BoundSet{q: q, threshold: threshold}, nil
+}
+
+// countAllowed returns the number of reportable objects.
+func countAllowed(allowed []bool, n int) int {
+	if allowed == nil {
+		return n
+	}
+	c := 0
+	for _, a := range allowed {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// TopLBs returns the k highest certified lower bounds among allowed
+// objects in canonical order (bound descending, object ascending).
+// Each entry's true score is ≥ its Score (Lemma 1), which is what
+// makes the merged k-th highest a sound global verification floor.
+func (b *BoundSet) TopLBs() []Scored {
+	q := b.q
+	top := make([]Scored, 0, q.k)
+	for i := 0; i < q.n; i++ {
+		if q.allowed(i) {
+			top = insertTopK(top, Scored{Obj: i, Score: int(q.tauLow[i])}, q.k)
+		}
+	}
+	return top
+}
+
+// MaxUB returns the highest certified upper bound among allowed
+// objects: no object this shard may report can score above it
+// (Lemma 2). The coordinator prunes the whole shard when MaxUB falls
+// below the merged floor.
+func (b *BoundSet) MaxUB() int {
+	q := b.q
+	best := 0
+	for i := 0; i < q.n; i++ {
+		if q.allowed(i) && int(q.tauUpp[i]) > best {
+			best = int(q.tauUpp[i])
+		}
+	}
+	return best
+}
+
+// Stats exposes the bound-phase work done so far. The coordinator
+// charges it to the query even when the shard is pruned before
+// verification — the grid was still built and the bounds still
+// computed.
+func (b *BoundSet) Stats() PhaseStats { return b.q.stats }
+
+// Complete resumes the paused query: candidates are assembled against
+// max(local threshold, floor), verified best-first with the Corollary 1
+// cut, and the result finalised exactly as a solo run would — collected
+// labels are published as a side effect. floor must be a sound global
+// threshold (at least k objects anywhere score ≥ floor); raising the
+// threshold never changes the answer for objects that belong in the
+// global top-k, it only skips verifying locals that provably do not.
+func (b *BoundSet) Complete(ctx context.Context, floor int) (*Result, error) {
+	q := b.q
+	q.ctx = ctx
+	threshold := b.threshold
+	if floor > threshold {
+		threshold = floor
+	}
+	cand := q.assembleCandidates(threshold)
+	q.stats.Candidates = len(cand)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+	if err := q.fire(fault.PointVerification); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	topk := q.verification(cand)
+	q.stats.Verification = time.Since(t0)
+	if q.cancelled() {
+		return nil, q.ctx.Err()
+	}
+	q.finishGridStats()
+	if q.newLabels != nil {
+		if err := q.e.opts.Labels.Put(q.ceilR(), q.newLabels); err != nil {
+			q.stats.LabelPersistFailed = true
+		}
+	}
+	res := &Result{TopK: topk, Stats: q.stats}
+	if len(topk) > 0 {
+		res.Best = topk[0]
+	}
+	return res, nil
+}

@@ -71,10 +71,10 @@ func (q *query) lowerBoundObject(i int, scratch *bitmap.Scratch) {
 	}
 }
 
-// kthHighest returns the k-th highest value in vals (k = q.k), the
-// top-k pruning threshold.
+// kthHighest returns the k-th highest value in vals (k = q.k) among
+// the objects q.restrict allows, the top-k pruning threshold.
 func (q *query) kthHighest(vals []int32) int {
-	if q.k == 1 {
+	if q.k == 1 && q.restrict == nil {
 		best := int32(0)
 		for _, v := range vals {
 			if v > best {
@@ -83,13 +83,22 @@ func (q *query) kthHighest(vals []int32) int {
 		}
 		return int(best)
 	}
-	cp := make([]int32, len(vals))
-	copy(cp, vals)
+	cp := make([]int32, 0, len(vals))
+	for i, v := range vals {
+		if q.allowed(i) {
+			cp = append(cp, v)
+		}
+	}
 	sort.Slice(cp, func(a, b int) bool { return cp[a] > cp[b] })
 	if q.k-1 < len(cp) {
 		return int(cp[q.k-1])
 	}
 	return 0
+}
+
+// allowed reports whether object i may appear in the answer.
+func (q *query) allowed(i int) bool {
+	return q.restrict == nil || q.restrict[i]
 }
 
 // candidate is an O_cand entry: an object surviving Theorem 2 pruning,
@@ -141,7 +150,7 @@ func (q *query) computeUpperBounds() {
 func (q *query) assembleCandidates(threshold int) []candidate {
 	cand := make([]candidate, 0, q.n/4+1)
 	for i := 0; i < q.n; i++ {
-		if int(q.tauUpp[i]) >= threshold {
+		if int(q.tauUpp[i]) >= threshold && q.allowed(i) {
 			cand = append(cand, candidate{obj: int32(i), tauUpp: q.tauUpp[i]})
 		}
 	}

@@ -25,11 +25,15 @@ func (q *query) degraded(top []Scored) (*Result, error) {
 		return nil, q.ctx.Err()
 	}
 
-	best := 0
-	for i := 1; i < q.n; i++ {
-		if q.tauLow[i] > q.tauLow[best] {
+	best := -1
+	for i := 0; i < q.n; i++ {
+		if q.allowed(i) && (best < 0 || q.tauLow[i] > q.tauLow[best]) {
 			best = i
 		}
+	}
+	if best < 0 {
+		// A restriction that allows nobody cannot certify an answer.
+		return nil, q.ctx.Err()
 	}
 	lb := int(q.tauLow[best])
 	ub := q.n - 1

@@ -78,6 +78,15 @@ type query struct {
 	tauLow []int32
 	tauUpp []int32
 
+	// restrict, when non-nil, limits which objects may be *answers*:
+	// kthHighest, assembleCandidates and degraded() only consider
+	// objects with restrict[i] set. Bounds are still computed over every
+	// object — a disallowed object contributes to its neighbours'
+	// scores, it just cannot be reported. The sharded path (Bound)
+	// restricts answers to a shard's primary objects so border replicas
+	// are never double-reported.
+	restrict []bool
+
 	// Per-worker scratch bitsets for parallel verification, allocated
 	// lazily on the first verified candidate.
 	vBOi  []*bitmap.Scratch

@@ -332,8 +332,8 @@ func (q *tQuery) verify(cand []candidate) []Scored {
 	mask := bitmap.NewScratch(q.n)
 	var neigh [27]grid.Key
 	for _, c := range cand {
-		if int(c.tauUpp) <= kthScore() {
-			break
+		if int(c.tauUpp) < kthScore() {
+			break // strict, tie-complete cut; see verification()
 		}
 		i := int(c.obj)
 		o := &q.e.ds.Objects[i]

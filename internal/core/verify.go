@@ -28,8 +28,15 @@ func (q *query) verification(cand []candidate) []Scored {
 	var neigh [27]grid.Key
 
 	for _, c := range cand {
-		if int(c.tauUpp) <= kthScore() {
-			break // Corollary 1: no remaining candidate can enter the top-k.
+		if int(c.tauUpp) < kthScore() {
+			// Corollary 1: no remaining candidate can enter the top-k.
+			// The cut is strict so candidates tying the k-th score are
+			// still verified: with the canonical tie-break of insertTopK
+			// the final list is then a pure function of (dataset, r, k),
+			// independent of verification order — which is what lets a
+			// sharded merge (internal/shard) reproduce the single-engine
+			// answer bitwise.
+			break
 		}
 		if q.cancelled() {
 			break
@@ -282,12 +289,17 @@ func (q *query) probePosting(soa *grid.PostingBlock, pi, j int, p geom.Point, bO
 	}
 }
 
-// insertTopK inserts s into the descending-sorted top list, keeping at
-// most k entries. Ties keep the earlier-verified object, matching the
-// paper's arbitrary tie-break.
+// insertTopK inserts s into the canonically-sorted top list (score
+// descending, object id ascending on ties), keeping at most k entries.
+// The paper allows an arbitrary tie-break; the canonical order is
+// chosen so the final top-k does not depend on verification order —
+// any set of exact scores merges to the same list, which the sharded
+// scatter–gather path (internal/shard) relies on for bitwise parity
+// with the single-engine oracle.
 func insertTopK(top []Scored, s Scored, k int) []Scored {
 	pos := len(top)
-	for pos > 0 && top[pos-1].Score < s.Score {
+	for pos > 0 && (top[pos-1].Score < s.Score ||
+		(top[pos-1].Score == s.Score && top[pos-1].Obj > s.Obj)) {
 		pos--
 	}
 	if pos >= k {

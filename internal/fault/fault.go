@@ -66,6 +66,22 @@ const (
 	// once.
 	PointCellWalk = "batch.cell_walk"
 
+	// PointScatter fires in the coordinator before a query fans out to
+	// its shards; an error here fails the query before any shard runs.
+	PointScatter = "shard.scatter"
+	// PointShardDown fires once per shard (in shard-id order, before
+	// the fan-out); an error marks that shard dead for this query — the
+	// instant-death simulation, no attempt, no retry.
+	PointShardDown = "shard.down"
+	// PointShardRun fires inside each per-shard bound attempt while the
+	// shard's engine is held: latency rules make stragglers (exercising
+	// hedged scatter), errors drive retries and the shard breaker, and
+	// panics exercise the shard-scoped quarantine.
+	PointShardRun = "shard.run"
+	// PointMerge fires in the coordinator after the gather, before
+	// per-shard results merge into the global answer.
+	PointMerge = "shard.merge"
+
 	// PointIOWrite .. PointIODirSync fire inside internal/durable's
 	// atomic file commit, in commit order: while the payload is written
 	// to the *.tmp file, before the file Sync, before the rename onto

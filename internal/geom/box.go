@@ -70,6 +70,28 @@ func (b Box) Dist2To(p Point) float64 {
 	return d
 }
 
+// Dist2ToBox returns the squared distance between the boxes (0 when
+// they touch or overlap): the per-axis gaps between the nearer faces.
+// It lower-bounds the distance between any point pair drawn from the
+// two boxes, which is what the shard halo rule needs — an object whose
+// MBR sits farther than r from a shard's extent cannot interact with
+// any object inside it.
+func (b Box) Dist2ToBox(c Box) float64 {
+	d := 0.0
+	for _, a := range [3][4]float64{
+		{b.Min.X, b.Max.X, c.Min.X, c.Max.X},
+		{b.Min.Y, b.Max.Y, c.Min.Y, c.Max.Y},
+		{b.Min.Z, b.Max.Z, c.Min.Z, c.Max.Z},
+	} {
+		if gap := a[2] - a[1]; gap > 0 { // c entirely above b on this axis
+			d += gap * gap
+		} else if gap := a[0] - a[3]; gap > 0 { // b entirely above c
+			d += gap * gap
+		}
+	}
+	return d
+}
+
 // Bound returns the bounding box of pts.
 func Bound(pts []Point) Box {
 	b := EmptyBox()

@@ -7,6 +7,8 @@ const (
 	PointAlpha      = "alpha.step"
 	PointBeta       = "beta.step"
 	PointEpochClose = "batch.epoch_close"
+	PointScatter    = "shard.scatter"
+	PointShardRun   = "shard.run"
 	PointDead       = "gamma.dead" // want "never fired outside tests"
 )
 
@@ -45,4 +47,12 @@ func driver(r *Registry) {
 	_ = r.Fire(PointEpochClose)
 	_, _ = Parse("seed=7;batch.epoch_close=error:0.05")
 	_ = r.Fire("batch.epoch_clsoe") // want "unknown injection point"
+
+	// Scatter–gather points: the coordinator fires scatter once per
+	// query and run once per shard attempt; chaos specs may arm
+	// several rules at the same point (error + latency here).
+	_ = r.Fire(PointScatter)
+	_ = r.Fire(PointShardRun)
+	_, _ = Parse("seed=3;shard.run=error:0.15;shard.run=latency:0.3:40ms")
+	_ = r.Fire("shard.rnu") // want "unknown injection point"
 }

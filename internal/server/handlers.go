@@ -14,6 +14,7 @@ import (
 	"mio/internal/data"
 	"mio/internal/fault"
 	"mio/internal/server/metrics"
+	"mio/internal/shard"
 )
 
 // Wire DTOs. Query results reuse the json-tagged core types; the
@@ -24,13 +25,24 @@ type errorResponse struct {
 }
 
 type queryResponse struct {
-	R         float64      `json:"r"`
-	K         int          `json:"k"`
-	Epoch     uint64       `json:"dataset_epoch"`
-	Cached    bool         `json:"cached"`
-	Coalesced bool         `json:"coalesced"`
-	Batched   bool         `json:"batched,omitempty"`
-	Result    *core.Result `json:"result"`
+	R         float64 `json:"r"`
+	K         int     `json:"k"`
+	Epoch     uint64  `json:"dataset_epoch"`
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+	Batched   bool    `json:"batched,omitempty"`
+	Sharded   bool    `json:"sharded,omitempty"`
+	// Scatter reports the per-shard outcome of a sharded query:
+	// states, attempts, hedges, the merged floor, pruning.
+	Scatter *shard.Report `json:"scatter,omitempty"`
+	Result  *core.Result  `json:"result"`
+}
+
+// shardQueryValue is the cached/coalesced value of a sharded query:
+// the merged result plus its scatter report.
+type shardQueryValue struct {
+	res *core.Result
+	rep *shard.Report
 }
 
 type interactingResponse struct {
@@ -81,6 +93,9 @@ type healthResponse struct {
 	Epoch    uint64  `json:"dataset_epoch"`
 	Draining bool    `json:"draining"`
 	UptimeS  float64 `json:"uptime_s"`
+	// Shards reports per-shard serving status (object counts, breaker
+	// state, last error, envelope depth) when sharded serving is on.
+	Shards []shard.Health `json:"shards,omitempty"`
 }
 
 type swapRequest struct {
@@ -110,6 +125,24 @@ type BreakerStats struct {
 	Refused             uint64 `json:"refused_total"`
 }
 
+// ShardStats is the sharded-serving section of MetricsSnapshot:
+// scatter/merge/hedge latency histograms, the fault-tolerance counters
+// (cmd/mioload reads the deltas of these to report degraded-answer and
+// retry/hedge rates per run), per-query pruning, and per-shard health.
+type ShardStats struct {
+	Shards         int                 `json:"shards"`
+	MaxR           float64             `json:"max_r"`
+	DegradedTotal  uint64              `json:"degraded_total"`
+	HedgesTotal    uint64              `json:"hedges_total"`
+	RetriesTotal   uint64              `json:"retries_total"`
+	DownsTotal     uint64              `json:"downs_total"`
+	ScatterLatency metrics.Snapshot    `json:"scatter_latency"`
+	MergeLatency   metrics.Snapshot    `json:"merge_latency"`
+	HedgeLatency   metrics.Snapshot    `json:"hedge_latency"`
+	PrunedPerQuery metrics.IntSnapshot `json:"pruned_per_query"`
+	PerShard       []shard.Health      `json:"per_shard"`
+}
+
 // MetricsSnapshot is the /metrics document. cmd/mioload decodes it to
 // report server-side coalescing and cache effectiveness.
 type MetricsSnapshot struct {
@@ -133,6 +166,7 @@ type MetricsSnapshot struct {
 	SwapBreaker       BreakerStats                `json:"swap_breaker"`
 	FaultsFired       map[string]uint64           `json:"faults_fired,omitempty"`
 	Batch             *batch.Stats                `json:"batch,omitempty"`
+	Shards            *ShardStats                 `json:"shards,omitempty"`
 	Cache             CacheStats                  `json:"cache"`
 	HTTPLatency       map[string]metrics.Snapshot `json:"http_latency"`
 	PhaseLatency      map[string]metrics.Snapshot `json:"phase_latency"`
@@ -225,6 +259,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		s.handleQueryBatched(w, req, r, k, degrade, epoch, key)
 		return
 	}
+	// Queries beyond the replica horizon cannot be answered exactly by
+	// the shards; they fall through to the solo engine pool.
+	if co := s.coord.Load(); co != nil && r <= co.MaxR() {
+		s.handleQuerySharded(w, req, co, r, k, epoch)
+		return
+	}
 	val, cached, coalesced, err := s.execute(key, func() (any, error) {
 		return s.withEngine(req.Context(), func(ctx context.Context, eng *core.Engine) (any, error) {
 			var res *core.Result
@@ -289,6 +329,45 @@ func (s *Server) handleQueryBatched(w http.ResponseWriter, req *http.Request, r 
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		R: r, K: k, Epoch: epoch, Batched: true, Result: res,
+	})
+}
+
+// handleQuerySharded is the /v1/query path when sharded serving is on
+// and the radius is inside the replica horizon: cache lookup and
+// coalescing as usual, then a coordinator scatter–gather instead of a
+// solo engine run. The coordinator owns admission (per-shard engine
+// pools) and fault tolerance; shard failures arrive here as a 200 with
+// Degraded set and a certified interval — cacheable() keeps those out
+// of the result cache.
+func (s *Server) handleQuerySharded(w http.ResponseWriter, req *http.Request, co *shard.Coordinator, r float64, k int, epoch uint64) {
+	key := fmt.Sprintf("%d|query|%s|%d|sharded", epoch, rKey(r), k)
+	ctx := req.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	val, cached, coalesced, err := s.execute(key, func() (any, error) {
+		s.m.inFlight.Inc()
+		defer s.m.inFlight.Dec()
+		res, rep, err := co.Query(ctx, r, k)
+		if err != nil {
+			return nil, err
+		}
+		if res.Degraded {
+			s.m.degraded.Inc()
+		}
+		s.observePhases(res.Stats)
+		return &shardQueryValue{res: res, rep: rep}, nil
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	sv := val.(*shardQueryValue)
+	writeJSON(w, http.StatusOK, queryResponse{
+		R: r, K: k, Epoch: epoch, Cached: cached, Coalesced: coalesced,
+		Sharded: true, Scatter: sv.rep, Result: sv.res,
 	})
 }
 
@@ -474,11 +553,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status: status, Dataset: ds.Name, Objects: ds.N(), Points: ds.TotalPoints(),
 		Epoch: s.epoch.Load(), Draining: draining,
 		UptimeS: time.Since(s.start).Seconds(),
-	})
+	}
+	if co := s.coord.Load(); co != nil {
+		resp.Shards = co.Health()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
@@ -510,6 +593,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		},
 		FaultsFired: s.cfg.Faults.Counts(),
 		Batch:       s.batchStats(withBuckets),
+		Shards:      s.shardStats(withBuckets),
 		Cache: CacheStats{
 			Enabled: !s.cfg.DisableCache, Hits: hits, Misses: misses,
 			Evictions: evictions, Size: s.cache.Len(), Capacity: s.cache.Cap(),
@@ -525,6 +609,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		snap.PhaseLatency[p] = s.m.phaseLat[p].Snapshot(withBuckets)
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// shardStats snapshots the coordinator for /metrics, or nil when
+// sharded serving is off.
+func (s *Server) shardStats(withBuckets bool) *ShardStats {
+	co := s.coord.Load()
+	if co == nil {
+		return nil
+	}
+	m := co.Metrics()
+	return &ShardStats{
+		Shards:         co.Shards(),
+		MaxR:           co.MaxR(),
+		DegradedTotal:  m.Degraded.Value(),
+		HedgesTotal:    m.Hedges.Value(),
+		RetriesTotal:   m.Retries.Value(),
+		DownsTotal:     m.Downs.Value(),
+		ScatterLatency: m.Scatter.Snapshot(withBuckets),
+		MergeLatency:   m.Merge.Snapshot(withBuckets),
+		HedgeLatency:   m.Hedge.Snapshot(withBuckets),
+		PrunedPerQuery: m.Pruned.Snapshot(withBuckets),
+		PerShard:       co.Health(),
+	}
 }
 
 // batchStats snapshots the batch engine for /metrics, or nil when

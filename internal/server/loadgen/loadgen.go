@@ -119,6 +119,16 @@ type Report struct {
 	BatchPlans        uint64
 	BatchShared       uint64 // queries answered by a groupmate's plan
 	BatchCellsDeduped int64  // duplicate cell visits avoided by shared walks
+
+	// Sharded-serving deltas, zero unless the server runs with
+	// Config.Shards (the /metrics shards section). Sharded is true when
+	// the section was present, so an all-zero healthy run still prints.
+	Sharded       bool
+	ShardCount    int
+	ShardDegraded uint64 // queries answered with a certified interval
+	ShardHedges   uint64 // speculative attempts against stragglers
+	ShardRetries  uint64 // bound attempts relaunched after a failure
+	ShardDowns    uint64 // per-query shard outcomes that ended down/late
 }
 
 // String renders the report as the human-readable block cmd/mioload
@@ -154,6 +164,16 @@ func (r Report) String() string {
 			r.BatchEpochs, r.BatchQueries, avg)
 		fmt.Fprintf(&b, "  batch plans   %d (%d shared), %d cell visits deduped\n",
 			r.BatchPlans, r.BatchShared, r.BatchCellsDeduped)
+	}
+	if r.Sharded {
+		rate := 0.0
+		if ok := r.Status[http.StatusOK]; ok > 0 {
+			rate = 100 * float64(r.ShardDegraded) / float64(ok)
+		}
+		fmt.Fprintf(&b, "  shards        %d, degraded %d (%.1f%% of 200s)\n",
+			r.ShardCount, r.ShardDegraded, rate)
+		fmt.Fprintf(&b, "  shard faults  %d retries, %d hedges, %d down/late outcomes\n",
+			r.ShardRetries, r.ShardHedges, r.ShardDowns)
 	}
 	return b.String()
 }
@@ -322,6 +342,14 @@ func Run(cfg Config) (*Report, error) {
 		rep.BatchPlans = after.Batch.Plans - before.Batch.Plans
 		rep.BatchShared = after.Batch.SharedWork - before.Batch.SharedWork
 		rep.BatchCellsDeduped = after.Batch.CellsDeduped.Sum - before.Batch.CellsDeduped.Sum
+	}
+	if before.Shards != nil && after.Shards != nil {
+		rep.Sharded = true
+		rep.ShardCount = after.Shards.Shards
+		rep.ShardDegraded = after.Shards.DegradedTotal - before.Shards.DegradedTotal
+		rep.ShardHedges = after.Shards.HedgesTotal - before.Shards.HedgesTotal
+		rep.ShardRetries = after.Shards.RetriesTotal - before.Shards.RetriesTotal
+		rep.ShardDowns = after.Shards.DownsTotal - before.Shards.DownsTotal
 	}
 	return rep, nil
 }

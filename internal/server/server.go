@@ -43,6 +43,7 @@ import (
 	"mio/internal/server/cache"
 	"mio/internal/server/flight"
 	"mio/internal/server/metrics"
+	"mio/internal/shard"
 )
 
 // Config tunes the serving machinery. The zero value selects sensible
@@ -113,6 +114,34 @@ type Config struct {
 	// queries; 0 selects batch.DefaultMaxBatch. Ignored unless
 	// BatchExecution is set.
 	BatchMaxSize int
+	// Shards routes /v1/query through the sharded scatter–gather
+	// coordinator (internal/shard): the dataset is partitioned across
+	// this many in-process shard engines, each query scatters per-shard
+	// bound requests and merges the certified results, and shard
+	// failures degrade the answer to an exact [LB, UB] interval instead
+	// of an error. Queries whose r exceeds ShardMaxR fall back to the
+	// solo engine pool. 0 disables. Mutually exclusive with
+	// BatchExecution — the two execution strategies own /v1/query
+	// routing in incompatible ways.
+	Shards int
+	// ShardMaxR is the partition's replica horizon: the largest radius
+	// the shards can answer exactly. 0 selects 10.
+	ShardMaxR float64
+	// ShardTimeout bounds each per-shard attempt. 0 selects 2s.
+	ShardTimeout time.Duration
+	// ShardRetries is the per-shard retry budget after the first failed
+	// attempt. 0 selects 1; negative disables retries.
+	ShardRetries int
+	// ShardHedgeAfter launches one speculative extra attempt against a
+	// straggling shard after this duration. 0 selects ShardTimeout/4;
+	// negative disables hedging.
+	ShardHedgeAfter time.Duration
+	// ShardBreakThreshold / ShardBreakCooldown configure each shard's
+	// circuit breaker: consecutive failures to trip, and how long an
+	// open breaker refuses attempts before its half-open probe.
+	// 0 selects 3 failures / 5s.
+	ShardBreakThreshold int
+	ShardBreakCooldown  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +203,12 @@ type Server struct {
 	// go through withEngine, so admission, panic quarantine and swap
 	// drain apply to batched work exactly as to solo queries.
 	batch *batch.Engine
+
+	// coord, when non-nil, is the sharded scatter–gather coordinator
+	// /v1/query routes through (Config.Shards). It owns its own
+	// per-shard engine pools; SwapDataset replaces it wholesale with
+	// one built over the new dataset.
+	coord atomic.Pointer[shard.Coordinator]
 
 	// drainMu realises graceful drain: every request holds the read
 	// lock for its duration; Drain takes the write lock, which waits
@@ -243,6 +278,9 @@ type engineTemplate struct {
 // store is shared across the pool.
 func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Shards > 0 && cfg.BatchExecution {
+		return nil, fmt.Errorf("server: Shards and BatchExecution are mutually exclusive")
+	}
 	if engOpts.Faults == nil {
 		engOpts.Faults = cfg.Faults
 	}
@@ -254,7 +292,33 @@ func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 		}
 		engines = append(engines, e)
 	}
-	return newFromPool(ds, engOpts, engines, cfg), nil
+	s := newFromPool(ds, engOpts, engines, cfg)
+	if cfg.Shards > 0 {
+		co, err := shard.New(ds, engOpts, s.shardConfig())
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.coord.Store(co)
+	}
+	return s, nil
+}
+
+// shardConfig maps the server's shard tuning onto the coordinator's.
+// Each admitted query needs at most two engine slots per shard
+// (original + hedge), so the pool provisions 2×MaxInFlight — slow
+// attempts must never starve a concurrent query's healthy ones.
+func (s *Server) shardConfig() shard.Config {
+	return shard.Config{
+		Shards:         s.cfg.Shards,
+		MaxR:           s.cfg.ShardMaxR,
+		Timeout:        s.cfg.ShardTimeout,
+		Retries:        s.cfg.ShardRetries,
+		HedgeAfter:     s.cfg.ShardHedgeAfter,
+		Pool:           2 * s.cfg.MaxInFlight,
+		BreakThreshold: s.cfg.ShardBreakThreshold,
+		BreakCooldown:  s.cfg.ShardBreakCooldown,
+		Faults:         s.cfg.Faults,
+	}
 }
 
 // NewFromEngine wraps one existing engine — the embedding path behind
@@ -389,6 +453,24 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 		}
 		engines = append(engines, e)
 	}
+	// The coordinator is rebuilt over the new dataset before anything is
+	// installed, so a failed shard build rejects the whole swap. Metrics
+	// carry over: counters describe the serving process, not one
+	// partition.
+	var coord *shard.Coordinator
+	if s.cfg.Shards > 0 {
+		var err error
+		coord, err = shard.New(ds, opts, s.shardConfig())
+		if err != nil {
+			if s.cfg.State != nil {
+				s.cfg.State.rollbackManifest(prevGen, prevOK)
+			}
+			return fmt.Errorf("server: swap rejected: %w", err)
+		}
+		if old := s.coord.Load(); old != nil {
+			coord.AdoptMetrics(old.Metrics())
+		}
+	}
 	// Drain the pool: receiving every slot waits for in-flight runs.
 	// A run that panicked is not lost: quarantine pushes a replacement
 	// engine into its slot before the panic continues, so all
@@ -402,6 +484,9 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 	s.opts = opts
 	s.ds.Store(ds)
 	s.tmpl.Store(&engineTemplate{ds: ds, opts: opts})
+	if coord != nil {
+		s.coord.Store(coord)
+	}
 	s.epoch.Add(1)
 	s.cache.Clear()
 	return nil
@@ -535,8 +620,13 @@ func (s *Server) execute(key string, fn func() (any, error)) (val any, cached, c
 // cache. Degraded answers are partial — replaying one to a later
 // caller would hide the exact answer that caller had time to compute.
 func cacheable(v any) bool {
-	r, ok := v.(*core.Result)
-	return !ok || !r.Degraded
+	switch r := v.(type) {
+	case *core.Result:
+		return !r.Degraded
+	case *shardQueryValue:
+		return !r.res.Degraded
+	}
+	return true
 }
 
 // observePhases feeds one query's PhaseStats into the per-phase
@@ -555,6 +645,10 @@ func (s *Server) statusFor(err error) int {
 	switch {
 	case errors.Is(err, errOverload):
 		return http.StatusTooManyRequests
+	case errors.Is(err, shard.ErrAllShardsDown):
+		// Nothing left to certify even an interval with; distinct from
+		// a timeout — per-shard failures never surface as 504.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		s.m.timeouts.Inc()
 		return http.StatusGatewayTimeout

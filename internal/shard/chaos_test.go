@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/fault"
+	"mio/internal/server/breaker"
+)
+
+// waitSlots fails the test unless every engine slot of sh returns to
+// the pool — the no-slot-leak invariant after hedges, retries, panics
+// and cancelled attempts (losers drain asynchronously).
+func waitSlots(t *testing.T, sh *Shard) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sh.slots) != poolPerShard {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d: %d/%d engine slots returned", sh.id, len(sh.slots), poolPerShard)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func chaosCoordinator(t *testing.T, reg *fault.Registry, cfg Config) *Coordinator {
+	t.Helper()
+	ds := uniformDS(120, 17)
+	cfg.Faults = reg
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.MaxR == 0 {
+		cfg.MaxR = 8
+	}
+	c, err := New(ds, core.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestChaosShardDown kills one shard before the scatter: the query
+// must still answer 200-style — degraded, with a certified interval
+// containing the oracle score — and recover to exact parity once the
+// fault clears.
+func TestChaosShardDown(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 1)
+
+	// After=3 skips shards 0–2, so exactly shard 3 dies this query.
+	reg.Arm(fault.Rule{Point: fault.PointShardDown, Kind: fault.KindError, P: 1, After: 3})
+	res, rep, err := c.Query(context.Background(), 4, 1)
+	if err != nil {
+		t.Fatalf("shard death must degrade, not fail: %v", err)
+	}
+	if !res.Degraded || !rep.Degraded || rep.Failed != 1 {
+		t.Fatalf("want one degraded shard, got %+v", rep)
+	}
+	if rep.PerShard[3].State != StateDown {
+		t.Fatalf("shard 3 state %q", rep.PerShard[3].State)
+	}
+	if res.Interval == nil ||
+		res.Interval.LB > want.Best.Score || want.Best.Score > res.Interval.UB {
+		t.Fatalf("interval %+v does not contain oracle score %d", res.Interval, want.Best.Score)
+	}
+	if res.Best.Score != res.Interval.LB {
+		t.Fatalf("degraded Best.Score %d ≠ interval LB %d", res.Best.Score, res.Interval.LB)
+	}
+
+	reg.Clear(fault.PointShardDown)
+	res, rep, err = c.Query(context.Background(), 4, 1)
+	if err != nil || res.Degraded {
+		t.Fatalf("did not recover: err=%v degraded=%v", err, res != nil && res.Degraded)
+	}
+	if res.Best != want.Best {
+		t.Fatalf("post-recovery best %v, oracle %v", res.Best, want.Best)
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}
+
+// TestChaosEnvelopeTightensInterval: a healthy query teaches each
+// shard its upper-bound envelope; when the shard later dies, the
+// degraded interval uses that envelope instead of the trivial n−1
+// bound — and still contains the truth.
+func TestChaosEnvelopeTightensInterval(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 1)
+
+	if _, _, err := c.Query(context.Background(), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm(fault.Rule{Point: fault.PointShardDown, Kind: fault.KindError, P: 1, After: 3})
+	res, _, err := c.Query(context.Background(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval == nil || res.Interval.UB >= c.n-1 {
+		t.Fatalf("envelope did not tighten the interval: %+v (n=%d)", res.Interval, c.n)
+	}
+	if res.Interval.LB > want.Best.Score || want.Best.Score > res.Interval.UB {
+		t.Fatalf("tightened interval %+v excludes oracle score %d", res.Interval, want.Best.Score)
+	}
+}
+
+// TestChaosPanicQuarantine arms a panic in every bound attempt: the
+// query must fail closed (all shards down) without crashing the
+// process or leaking engine slots, and the next query — faults
+// cleared, breakers cooled — must answer exactly.
+func TestChaosPanicQuarantine(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{
+		BreakThreshold: 3,
+		BreakCooldown:  30 * time.Millisecond,
+		HedgeAfter:     -1,
+	})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 3)
+
+	reg.Arm(fault.Rule{Point: fault.PointShardRun, Kind: fault.KindPanic, P: 1})
+	res, rep, err := c.Query(context.Background(), 4, 3)
+	if !errors.Is(err, ErrAllShardsDown) {
+		t.Fatalf("every shard panicking returned (%v, %v)", res, err)
+	}
+	if rep.Failed != 4 || rep.Retries == 0 {
+		t.Fatalf("want 4 failed shards with retries, got %+v", rep)
+	}
+	for _, run := range rep.PerShard {
+		if run.State != StateDown || !strings.Contains(run.Err, "panic") {
+			t.Fatalf("shard %d: state %q err %q", run.ID, run.State, run.Err)
+		}
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh) // quarantine must refill every slot it drained
+	}
+
+	reg.Clear(fault.PointShardRun)
+	time.Sleep(50 * time.Millisecond) // let breakers cool down
+	res, rep, err = c.Query(context.Background(), 4, 3)
+	if err != nil || res.Degraded {
+		t.Fatalf("did not recover from panics: err=%v rep=%+v", err, rep)
+	}
+	if !sameTopK(res.TopK, want.TopK) {
+		t.Fatalf("post-quarantine answer %v, oracle %v", res.TopK, want.TopK)
+	}
+}
+
+// TestChaosBreakerTripAndRecover: persistent shard errors must trip
+// the per-shard breakers (so later queries stop burning attempts on a
+// dead shard), and a half-open probe must close them again once the
+// shard heals.
+func TestChaosBreakerTripAndRecover(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{
+		Retries:        -1, // one attempt per query: breaker math is exact
+		HedgeAfter:     -1,
+		BreakThreshold: 2,
+		BreakCooldown:  40 * time.Millisecond,
+	})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 1)
+
+	reg.Arm(fault.Rule{Point: fault.PointShardRun, Kind: fault.KindError, P: 1})
+	for q := 0; q < 2; q++ {
+		if _, _, err := c.Query(context.Background(), 4, 1); !errors.Is(err, ErrAllShardsDown) {
+			t.Fatalf("query %d: %v", q, err)
+		}
+	}
+	for _, sh := range c.shards {
+		if sh.br.State() != breaker.Open {
+			t.Fatalf("shard %d breaker %v after %d failures", sh.id, sh.br.State(), 2)
+		}
+	}
+
+	// With breakers open, attempts are refused before any engine runs.
+	before := reg.Fired(fault.PointShardRun)
+	_, rep, err := c.Query(context.Background(), 4, 1)
+	if !errors.Is(err, ErrAllShardsDown) {
+		t.Fatalf("open breakers: %v", err)
+	}
+	if got := reg.Fired(fault.PointShardRun); got != before {
+		t.Fatalf("open breakers still ran engines: %d fires → %d", before, got)
+	}
+	for _, run := range rep.PerShard {
+		if !strings.Contains(run.Err, "breaker open") {
+			t.Fatalf("shard %d err %q, want breaker refusal", run.ID, run.Err)
+		}
+	}
+
+	reg.Clear(fault.PointShardRun)
+	time.Sleep(60 * time.Millisecond)
+	res, rep, err := c.Query(context.Background(), 4, 1)
+	if err != nil || res.Degraded {
+		t.Fatalf("half-open probe did not recover: err=%v rep=%+v", err, rep)
+	}
+	if res.Best != want.Best {
+		t.Fatalf("post-recovery best %v, oracle %v", res.Best, want.Best)
+	}
+	for _, sh := range c.shards {
+		if sh.br.State() != breaker.Closed {
+			t.Fatalf("shard %d breaker %v after successful probe", sh.id, sh.br.State())
+		}
+		waitSlots(t, sh)
+	}
+}
+
+// TestChaosHedgedScatter: every first attempt straggles past the hedge
+// trigger; the answer must stay exact, hedges must be recorded, and
+// the losing attempts must return their engines.
+func TestChaosHedgedScatter(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{
+		Timeout:    10 * time.Second,
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 1)
+
+	reg.Arm(fault.Rule{Point: fault.PointShardRun, Kind: fault.KindLatency, P: 1, Delay: 150 * time.Millisecond})
+	res, rep, err := c.Query(context.Background(), 4, 1)
+	if err != nil || res.Degraded {
+		t.Fatalf("hedged run failed: err=%v rep=%+v", err, rep)
+	}
+	if rep.Hedges == 0 {
+		t.Fatalf("stragglers did not hedge: %+v", rep)
+	}
+	if res.Best != want.Best {
+		t.Fatalf("hedged best %v, oracle %v", res.Best, want.Best)
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}
+
+// TestChaosLateVerification: bounds arrive but every verification
+// fails — the coordinator must fall back to the certified bound
+// interval rather than erroring.
+func TestChaosLateVerification(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{HedgeAfter: -1})
+	ds := uniformDS(120, 17)
+	want := oracle(t, ds, 4, 1)
+
+	reg.Arm(fault.Rule{Point: fault.PointVerification, Kind: fault.KindError, P: 1})
+	res, rep, err := c.Query(context.Background(), 4, 1)
+	if err != nil {
+		t.Fatalf("late shards must degrade, not fail: %v", err)
+	}
+	if !res.Degraded || res.Interval == nil {
+		t.Fatalf("want degraded interval, got %+v / %+v", res, rep)
+	}
+	late := 0
+	for _, run := range rep.PerShard {
+		if run.State == StateLate {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatalf("no shard reported late: %+v", rep)
+	}
+	if res.Interval.LB > want.Best.Score || want.Best.Score > res.Interval.UB {
+		t.Fatalf("interval %+v excludes oracle score %d", res.Interval, want.Best.Score)
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}
+
+// TestChaosScatterMergePoints: faults at the coordinator's own points
+// fail the query outright (nothing to certify) without leaking slots.
+func TestChaosScatterMergePoints(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{})
+
+	reg.Arm(fault.Rule{Point: fault.PointScatter, Kind: fault.KindError, P: 1})
+	if _, _, err := c.Query(context.Background(), 4, 1); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("scatter fault: %v", err)
+	}
+	reg.Clear(fault.PointScatter)
+
+	reg.Arm(fault.Rule{Point: fault.PointMerge, Kind: fault.KindError, P: 1})
+	if _, _, err := c.Query(context.Background(), 4, 1); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("merge fault: %v", err)
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}
+
+// TestChaosCancelMidScatter: caller cancellation mid-scatter surfaces
+// promptly and returns every engine.
+func TestChaosCancelMidScatter(t *testing.T) {
+	reg := fault.New(1)
+	c := chaosCoordinator(t, reg, Config{HedgeAfter: -1})
+	reg.Arm(fault.Rule{Point: fault.PointShardRun, Kind: fault.KindLatency, P: 1, Delay: 100 * time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := c.Query(ctx, 4, 1)
+	if err == nil {
+		t.Fatal("cancelled scatter returned a result")
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}

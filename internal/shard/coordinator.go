@@ -1,0 +1,631 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/fault"
+	"mio/internal/server/metrics"
+)
+
+// ErrBeyondHorizon is returned when the query radius exceeds the
+// partition's replica horizon: shard-local scores would miss
+// cross-shard interactions, so the caller must fall back to a
+// single-engine run.
+var ErrBeyondHorizon = errors.New("shard: query radius exceeds the replica horizon")
+
+// ErrAllShardsDown is returned when no shard produced bounds: there is
+// nothing to certify an interval with.
+var ErrAllShardsDown = errors.New("shard: every shard failed the bound phase")
+
+// Config tunes the coordinator. The zero value of every field selects
+// a sensible default via withDefaults.
+type Config struct {
+	// Shards is the number of partitions (required, ≥ 2).
+	Shards int
+	// MaxR is the replica horizon: queries with r ≤ MaxR are answerable
+	// by the shards; larger radii return ErrBeyondHorizon. Default 10.
+	MaxR float64
+	// Timeout bounds each per-shard attempt (bound phase and
+	// verification separately). Default 2s.
+	Timeout time.Duration
+	// Retries is how many times a failed bound attempt is relaunched
+	// after jittered backoff. Default 1; -1 disables retries.
+	Retries int
+	// HedgeAfter launches one extra speculative attempt when the first
+	// has not answered within this duration — the classic tail-latency
+	// hedge. Default Timeout/4; negative disables hedging.
+	HedgeAfter time.Duration
+	// Backoff is the base delay before a retry (doubled per attempt,
+	// with up to 50% jitter). Default 10ms.
+	Backoff time.Duration
+	// Pool is each shard's engine-pool size. One query needs at most
+	// two slots per shard (original + hedge), so a caller serving Q
+	// queries concurrently should set 2Q or hedged attempts starve
+	// healthy ones out of slots. Default 2.
+	Pool int
+	// BreakThreshold / BreakCooldown configure each shard's circuit
+	// breaker. Defaults 3 failures / 5s.
+	BreakThreshold int
+	BreakCooldown  time.Duration
+	// Faults, when non-nil, is consulted at the scatter/merge/shard
+	// points and threaded into every shard engine.
+	Faults *fault.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxR <= 0 {
+		c.MaxR = 10
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = c.Timeout / 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.Pool <= 0 {
+		c.Pool = poolPerShard
+	}
+	if c.BreakThreshold <= 0 {
+		c.BreakThreshold = 3
+	}
+	if c.BreakCooldown <= 0 {
+		c.BreakCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Metrics aggregates the coordinator's observability state; the server
+// snapshots it into /metrics.
+type Metrics struct {
+	// Scatter observes per-shard bound-attempt latency; Merge observes
+	// the gather/verify/merge tail after the last bound arrives; Hedge
+	// observes how long the primary attempt had been running when its
+	// hedge launched.
+	Scatter  *metrics.Histogram
+	Merge    *metrics.Histogram
+	Hedge    *metrics.Histogram
+	Hedges   *metrics.Counter
+	Retries  *metrics.Counter
+	Downs    *metrics.Counter // shard outcomes that ended down or late
+	Degraded *metrics.Counter
+	// Pruned observes, per query, how many shards the bound merge
+	// eliminated before verification.
+	Pruned *metrics.IntHistogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		Scatter:  metrics.NewHistogram(nil),
+		Merge:    metrics.NewHistogram(nil),
+		Hedge:    metrics.NewHistogram(nil),
+		Hedges:   new(metrics.Counter),
+		Retries:  new(metrics.Counter),
+		Downs:    new(metrics.Counter),
+		Degraded: new(metrics.Counter),
+		Pruned:   metrics.NewIntHistogram(metrics.PowerOfTwoBounds(64)),
+	}
+}
+
+// Coordinator scatters MIO queries across N in-process shards and
+// gathers the per-shard bounds and verified results back into a single
+// answer. On a healthy cluster the answer is bitwise-identical to a
+// single-engine run; when shards are slow, dead or flapping it degrades
+// to a certified [LB, UB] interval instead of failing (DESIGN.md §15).
+type Coordinator struct {
+	cfg    Config
+	part   *Partition
+	shards []*Shard
+	n      int // global object count
+	m      *Metrics
+}
+
+// New partitions ds per cfg and builds the shard engines. opts is the
+// per-shard engine template; when opts.Labels is set each shard gets
+// its own in-memory store (shard-local ids make the global store
+// meaningless), and cfg.Faults overrides opts.Faults so one registry
+// drives both coordinator and engine points.
+func New(ds *data.Dataset, opts core.Options, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	part, err := BuildPartition(ds, cfg.Shards, cfg.MaxR)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		part:   part,
+		shards: make([]*Shard, cfg.Shards),
+		n:      ds.N(),
+		m:      newMetrics(),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		local, primary := part.ShardDataset(ds, s)
+		shOpts := opts
+		if shOpts.Labels != nil {
+			shOpts.Labels = labelstore.NewStore()
+		}
+		if cfg.Faults != nil {
+			shOpts.Faults = cfg.Faults
+		}
+		global := part.Members[s]
+		sh, err := newShard(s, cfg.Pool, local, global, primary, shOpts, cfg.BreakThreshold, cfg.BreakCooldown)
+		if err != nil {
+			return nil, err
+		}
+		c.shards[s] = sh
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// MaxR returns the replica horizon.
+func (c *Coordinator) MaxR() float64 { return c.cfg.MaxR }
+
+// Metrics returns the coordinator's metric set.
+func (c *Coordinator) Metrics() *Metrics { return c.m }
+
+// AdoptMetrics replaces the coordinator's metric set, letting a
+// replacement coordinator (dataset swap) continue its predecessor's
+// counters. Must be called before the coordinator serves queries.
+func (c *Coordinator) AdoptMetrics(m *Metrics) {
+	if m != nil {
+		c.m = m
+	}
+}
+
+// Health snapshots every shard's status, ordered by id.
+func (c *Coordinator) Health() []Health {
+	hs := make([]Health, 0, len(c.shards))
+	for _, sh := range c.shards {
+		hs = append(hs, sh.health())
+	}
+	sortHealth(hs)
+	return hs
+}
+
+// attemptRes is one bound attempt's outcome.
+type attemptRes struct {
+	set *core.BoundSet
+	eng *core.Engine
+	err error
+}
+
+// shardBound is one shard's overall bound-phase outcome after retries
+// and hedging.
+type shardBound struct {
+	sh       *Shard
+	set      *core.BoundSet
+	eng      *core.Engine
+	attempts int
+	hedged   bool
+	err      error
+}
+
+// Query answers the MIO query (r, k) by scatter–gather. It returns the
+// merged result, a per-shard report, and an error only when the query
+// itself is invalid (or every shard is unreachable) — shard failures
+// degrade the result instead (Result.Degraded + Interval).
+func (c *Coordinator) Query(ctx context.Context, r float64, k int) (*core.Result, *Report, error) {
+	if r <= 0 {
+		return nil, nil, fmt.Errorf("shard: distance threshold must be positive, got %g", r)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("shard: k must be at least 1, got %d", k)
+	}
+	if r > c.cfg.MaxR {
+		return nil, nil, fmt.Errorf("%w (r=%g, horizon=%g)", ErrBeyondHorizon, r, c.cfg.MaxR)
+	}
+	if err := c.cfg.Faults.Fire(fault.PointScatter); err != nil {
+		return nil, nil, err
+	}
+
+	// Instant-death injection: fired per shard in id order before the
+	// fan-out so chaos schedules (Rule.After) are deterministic.
+	down := make([]error, len(c.shards))
+	for i := range c.shards {
+		down[i] = c.cfg.Faults.Fire(fault.PointShardDown)
+	}
+
+	// Scatter the bound phase.
+	bounds := make([]shardBound, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		bounds[i] = shardBound{sh: sh}
+		if down[i] != nil {
+			bounds[i].err = down[i]
+			sh.noteError(down[i])
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			bounds[i] = c.boundShard(ctx, sh, r, k)
+		}(i, sh)
+	}
+	wg.Wait()
+	tMerge := time.Now()
+
+	if err := c.cfg.Faults.Fire(fault.PointMerge); err != nil {
+		for i := range bounds {
+			if bounds[i].eng != nil {
+				bounds[i].sh.release(bounds[i].eng)
+			}
+		}
+		return nil, nil, err
+	}
+
+	res, rep := c.gather(ctx, r, k, bounds)
+	c.m.Merge.Observe(time.Since(tMerge))
+	if res == nil {
+		return nil, rep, ErrAllShardsDown
+	}
+	if res.Degraded {
+		c.m.Degraded.Inc()
+	}
+	c.m.Pruned.Observe(int64(rep.Pruned))
+	return res, rep, nil
+}
+
+// boundShard drives one shard's bound phase: breaker-gated attempts
+// with per-attempt deadlines, jittered-backoff retries, and one hedged
+// attempt if the first straggles. The first success wins; a reaper
+// drains losing attempts and returns their engines to the pool.
+func (c *Coordinator) boundShard(ctx context.Context, sh *Shard, r float64, k int) shardBound {
+	out := shardBound{sh: sh}
+	budget := 1 + c.cfg.Retries // sequential attempts; hedge is extra
+	resCh := make(chan attemptRes, budget+1)
+	outstanding := 0
+	t0 := time.Now()
+
+	launch := func() {
+		out.attempts++
+		outstanding++
+		go func() { resCh <- c.attempt(ctx, sh, r, k) }()
+	}
+	launch()
+	launched := 1
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		ht := time.NewTimer(c.cfg.HedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	var backoffT *time.Timer
+	var backoffC <-chan time.Time
+	defer func() {
+		if backoffT != nil {
+			backoffT.Stop()
+		}
+	}()
+
+	finish := func(win attemptRes) shardBound {
+		out.set, out.eng, out.err = win.set, win.eng, win.err
+		if outstanding > 0 {
+			// Losing attempts are still running; drain them off-path so
+			// their engine slots return to the pool.
+			go func(pending int) {
+				for i := 0; i < pending; i++ {
+					if late := <-resCh; late.eng != nil {
+						sh.release(late.eng)
+					}
+				}
+			}(outstanding)
+		}
+		return out
+	}
+
+	for {
+		select {
+		case res := <-resCh:
+			outstanding--
+			if res.err == nil {
+				return finish(res)
+			}
+			out.err = res.err
+			if outstanding > 0 {
+				continue // the hedge may still win
+			}
+			if launched < budget && ctx.Err() == nil {
+				c.m.Retries.Inc()
+				launched++
+				d := c.cfg.Backoff << (launched - 2)
+				d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+				backoffT = time.NewTimer(d)
+				backoffC = backoffT.C
+				continue
+			}
+			return out
+		case <-backoffC:
+			backoffC = nil
+			launch()
+		case <-hedgeC:
+			hedgeC = nil
+			// The hedge rides outside the retry budget: one extra
+			// concurrent attempt racing the straggler.
+			if outstanding == 1 && !out.hedged && ctx.Err() == nil {
+				out.hedged = true
+				c.m.Hedges.Inc()
+				c.m.Hedge.Observe(time.Since(t0))
+				launch()
+			}
+		case <-ctx.Done():
+			if out.err == nil {
+				out.err = ctx.Err()
+			}
+			return finish(attemptRes{err: out.err})
+		}
+	}
+}
+
+// attempt runs one breaker-gated bound attempt on a pooled engine. A
+// panic anywhere inside (fault injection or the engine itself)
+// quarantines the engine — its slot is refilled from the shard
+// template — and converts to an error so the retry loop stays alive.
+func (c *Coordinator) attempt(ctx context.Context, sh *Shard, r float64, k int) (res attemptRes) {
+	if retry, ok := sh.br.Allow(); !ok {
+		// Refused, not failed: the breaker's own bookkeeping must not
+		// see refusals or it would never half-open.
+		return attemptRes{err: fmt.Errorf("shard %d: %w (retry in %s)", sh.id, ErrBreakerOpen, retry.Round(time.Millisecond))}
+	}
+	eng, err := sh.acquire(ctx)
+	if err != nil {
+		return attemptRes{err: err}
+	}
+	t0 := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			sh.quarantine(eng)
+			sh.br.Failure()
+			perr := fmt.Errorf("shard %d: panic: %v", sh.id, p)
+			sh.noteError(perr)
+			res = attemptRes{err: perr}
+		}
+	}()
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	if err := c.cfg.Faults.Fire(fault.PointShardRun); err != nil {
+		sh.release(eng)
+		sh.br.Failure()
+		sh.noteError(err)
+		return attemptRes{err: err}
+	}
+	set, err := eng.Bound(actx, r, k, sh.primary)
+	c.m.Scatter.Observe(time.Since(t0))
+	if err != nil {
+		sh.release(eng)
+		sh.br.Failure()
+		sh.noteError(err)
+		return attemptRes{err: err}
+	}
+	sh.br.Success()
+	sh.recordEnvelope(r, set.MaxUB())
+	return attemptRes{set: set, eng: eng}
+}
+
+// gather merges the per-shard bound outcomes: computes the global
+// verification floor, prunes shards whose upper bound cannot reach it,
+// completes the survivors concurrently, and assembles either the exact
+// merged top-k or a certified degraded interval. Returns nil when no
+// shard produced bounds.
+func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []shardBound) (*core.Result, *Report) {
+	rep := &Report{Shards: len(bounds), PerShard: make([]ShardRun, len(bounds))}
+	type boundInfo struct {
+		tops  []core.Scored
+		maxUB int
+	}
+	infos := make([]boundInfo, len(bounds))
+	var tops [][]core.Scored
+	for i := range bounds {
+		b := &bounds[i]
+		run := &rep.PerShard[i]
+		run.ID = b.sh.id
+		run.Attempts = b.attempts
+		run.Hedged = b.hedged
+		retries := b.attempts - 1
+		if b.hedged {
+			retries-- // the hedge launch is not a retry
+		}
+		rep.Retries += maxInt(0, retries)
+		if b.hedged {
+			rep.Hedges++
+		}
+		if b.set == nil {
+			run.State = StateDown
+			if b.err != nil {
+				run.Err = b.err.Error()
+			}
+			continue
+		}
+		infos[i] = boundInfo{tops: b.set.TopLBs(), maxUB: b.set.MaxUB()}
+		run.MaxUB = infos[i].maxUB
+		if len(infos[i].tops) > 0 {
+			run.BestLB = infos[i].tops[0].Score
+		}
+		tops = append(tops, infos[i].tops)
+	}
+	if len(tops) == 0 {
+		rep.Failed = len(bounds)
+		rep.Degraded = true
+		return nil, rep
+	}
+
+	// The floor is sound globally even with shards down: it only
+	// asserts that k objects score at least this much, which the
+	// surviving shards' bounds already prove.
+	floor := mergeFloor(tops, k)
+	rep.Floor = floor
+
+	// Prune, then complete the survivors concurrently.
+	var wg sync.WaitGroup
+	results := make([]*core.Result, len(bounds))
+	errs := make([]error, len(bounds))
+	for i := range bounds {
+		b := &bounds[i]
+		if b.set == nil {
+			continue
+		}
+		if infos[i].maxUB < floor {
+			rep.PerShard[i].State = StatePruned
+			rep.Pruned++
+			b.sh.release(b.eng)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *shardBound) {
+			defer wg.Done()
+			results[i], errs[i] = c.complete(ctx, b, floor)
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Assemble: exact lists from completed shards, certified bounds
+	// from the rest.
+	var lists [][]core.Scored
+	var stats []core.PhaseStats
+	degraded := false
+	lbBest := core.Scored{Obj: -1}
+	ub := 0
+	bumpUB := func(v int) {
+		if v > ub {
+			ub = v
+		}
+	}
+	for i := range bounds {
+		b := &bounds[i]
+		run := &rep.PerShard[i]
+		switch {
+		case run.State == StatePruned:
+			// Cannot hold an answer, but its bound-phase work counts.
+			stats = append(stats, b.set.Stats())
+			bumpUB(infos[i].maxUB)
+		case b.set == nil:
+			degraded = true
+			rep.Failed++
+			c.m.Downs.Inc()
+			if env, ok := b.sh.envelopeUB(r); ok {
+				bumpUB(env)
+			} else {
+				bumpUB(c.n - 1) // trivial: no object interacts with more than n-1 others
+			}
+		case errs[i] != nil:
+			run.State = StateLate
+			run.Err = errs[i].Error()
+			degraded = true
+			rep.Failed++
+			c.m.Downs.Inc()
+			b.sh.noteError(errs[i])
+			// Its bounds are still certified: best primary scores in
+			// [BestLB, MaxUB].
+			bumpUB(infos[i].maxUB)
+			if len(infos[i].tops) > 0 {
+				if cand := mapLocalBest(b.sh, infos[i].tops[0]); better(cand, lbBest) {
+					lbBest = cand
+				}
+			}
+		default:
+			run.State = StateOK
+			res := results[i]
+			stats = append(stats, res.Stats)
+			list := toGlobal(b.sh.global, res.TopK)
+			lists = append(lists, list)
+			if len(list) > 0 {
+				bumpUB(list[0].Score)
+				if better(list[0], lbBest) {
+					lbBest = list[0]
+				}
+			}
+		}
+	}
+
+	merged := mergeTopK(lists, k)
+	out := &core.Result{TopK: merged, Stats: mergeStats(stats)}
+	if !degraded {
+		if len(merged) > 0 {
+			out.Best = merged[0]
+		}
+		return out, rep
+	}
+
+	rep.Degraded = true
+	out.Degraded = true
+	// lbBest is an object certified to score ≥ lbBest.Score; ub bounds
+	// every object anywhere (OK shards by their exact maxima, late
+	// shards by MaxUB, down shards by their envelope). The true global
+	// maximum therefore lies in [lbBest.Score, ub].
+	out.Best = lbBest
+	out.Interval = &core.Interval{LB: lbBest.Score, UB: ub}
+	if len(merged) == 0 && lbBest.Obj >= 0 {
+		out.TopK = []core.Scored{lbBest}
+	}
+	return out, rep
+}
+
+// complete runs a shard's verification against the merged floor with
+// the same deadline, panic-quarantine and error discipline as the
+// bound attempts. It always returns the engine to the pool.
+func (c *Coordinator) complete(ctx context.Context, b *shardBound, floor int) (res *core.Result, err error) {
+	sh := b.sh
+	eng := b.eng
+	released := false
+	defer func() {
+		if p := recover(); p != nil {
+			sh.quarantine(eng)
+			sh.br.Failure()
+			err = fmt.Errorf("shard %d: panic: %v", sh.id, p)
+			res = nil
+			return
+		}
+		if !released {
+			sh.release(eng)
+		}
+	}()
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	r, cerr := b.set.Complete(actx, floor)
+	sh.release(eng)
+	released = true
+	if cerr != nil {
+		sh.br.Failure()
+		return nil, cerr
+	}
+	sh.br.Success()
+	return r, nil
+}
+
+// better orders degraded best-candidates canonically.
+func better(a, b core.Scored) bool {
+	if b.Obj < 0 {
+		return true
+	}
+	return canonicalLess(a, b)
+}
+
+// mapLocalBest maps a shard-local best candidate to its global id.
+func mapLocalBest(sh *Shard, s core.Scored) core.Scored {
+	return core.Scored{Obj: int(sh.global[s.Obj]), Score: s.Score}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

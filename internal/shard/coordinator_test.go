@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/geom"
+)
+
+func oracle(t *testing.T, ds *data.Dataset, r float64, k int) *core.Result {
+	t.Helper()
+	e, err := core.NewEngine(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunTopK(r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameTopK(a, b []core.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParityWithOracle is the healthy-cluster acceptance gate: across a
+// (shards, r, k) sweep the scatter–gather answer must be identical to
+// the single-engine oracle — same objects, same scores, same tie
+// order — and deterministic in its work accounting.
+func TestParityWithOracle(t *testing.T) {
+	ds := uniformDS(150, 11)
+	for _, shards := range []int{2, 3, 4, 5} {
+		c, err := New(ds, core.Options{}, Config{Shards: shards, MaxR: 8})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for _, r := range []float64{2, 4, 6} {
+			for _, k := range []int{1, 3, 7} {
+				want := oracle(t, ds, r, k)
+				res, rep, err := c.Query(context.Background(), r, k)
+				if err != nil {
+					t.Fatalf("shards=%d r=%g k=%d: %v", shards, r, k, err)
+				}
+				if res.Degraded || rep.Degraded || rep.Failed != 0 {
+					t.Fatalf("shards=%d r=%g k=%d: degraded on a healthy cluster: %+v", shards, r, k, rep)
+				}
+				if !sameTopK(res.TopK, want.TopK) {
+					t.Fatalf("shards=%d r=%g k=%d: top-k mismatch\n got %v\nwant %v",
+						shards, r, k, res.TopK, want.TopK)
+				}
+				if res.Best != want.Best {
+					t.Fatalf("shards=%d r=%g k=%d: best %v, oracle %v", shards, r, k, res.Best, want.Best)
+				}
+				// Work accounting is deterministic (not oracle-equal:
+				// halo replicas are re-bounded per shard, see DESIGN.md
+				// §15): a second identical run must report identical
+				// distance-computation counts.
+				res2, _, err := c.Query(context.Background(), r, k)
+				if err != nil {
+					t.Fatalf("shards=%d r=%g k=%d rerun: %v", shards, r, k, err)
+				}
+				if res2.Stats.DistanceComps != res.Stats.DistanceComps {
+					t.Fatalf("shards=%d r=%g k=%d: dist comps not deterministic: %d vs %d",
+						shards, r, k, res.Stats.DistanceComps, res2.Stats.DistanceComps)
+				}
+			}
+		}
+		for _, sh := range c.shards {
+			waitSlots(t, sh)
+		}
+	}
+}
+
+// skewedDS builds a dataset with a dense cluster in one corner and
+// isolated objects scattered far away: the shards that inherit the
+// sparse half have upper bounds far below the dense shard's lower
+// bounds, so the coordinator can prune them before verification.
+func skewedDS() *data.Dataset {
+	dense := data.GenUniform(data.UniformConfig{N: 40, M: 6, FieldSize: 8, Spread: 2, Seed: 1})
+	sparse := data.GenUniform(data.UniformConfig{N: 40, M: 6, FieldSize: 2000, Spread: 2, Seed: 2})
+	ds := &data.Dataset{Name: "skewed"}
+	for _, o := range dense.Objects {
+		ds.Objects = append(ds.Objects, data.Object{ID: len(ds.Objects), Pts: o.Pts, Times: o.Times})
+	}
+	for _, o := range sparse.Objects {
+		pts := make([]geom.Point, len(o.Pts))
+		for i, p := range o.Pts {
+			pts[i] = geom.Pt(p.X+3000, p.Y, p.Z)
+		}
+		ds.Objects = append(ds.Objects, data.Object{ID: len(ds.Objects), Pts: pts, Times: o.Times})
+	}
+	return ds
+}
+
+// TestShardPruning: on skewed data the bound merge must eliminate
+// whole shards before verification, and still answer exactly.
+func TestShardPruning(t *testing.T) {
+	ds := skewedDS()
+	c, err := New(ds, core.Options{}, Config{Shards: 4, MaxR: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, ds, 3, 1)
+	res, rep, err := c.Query(context.Background(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pruned == 0 {
+		t.Fatalf("no shards pruned on skewed data: %+v", rep)
+	}
+	if res.Degraded || !sameTopK(res.TopK, want.TopK) {
+		t.Fatalf("pruned run wrong: got %v (degraded=%v), want %v", res.TopK, res.Degraded, want.TopK)
+	}
+	for _, run := range rep.PerShard {
+		if run.State == StatePruned && run.MaxUB >= rep.Floor {
+			t.Fatalf("shard %d pruned with MaxUB %d ≥ floor %d", run.ID, run.MaxUB, rep.Floor)
+		}
+	}
+	for _, sh := range c.shards {
+		waitSlots(t, sh)
+	}
+}
+
+func TestBeyondHorizon(t *testing.T) {
+	c, err := New(uniformDS(40, 2), core.Options{}, Config{Shards: 2, MaxR: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(context.Background(), 9, 1); !errors.Is(err, ErrBeyondHorizon) {
+		t.Fatalf("r beyond horizon returned %v", err)
+	}
+	if _, _, err := c.Query(context.Background(), -1, 1); err == nil {
+		t.Fatal("accepted negative r")
+	}
+	if _, _, err := c.Query(context.Background(), 2, 0); err == nil {
+		t.Fatal("accepted k=0")
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	c, err := New(uniformDS(50, 4), core.Options{}, Config{Shards: 3, MaxR: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := c.Health()
+	if len(hs) != 3 {
+		t.Fatalf("got %d health rows", len(hs))
+	}
+	objs := 0
+	for i, h := range hs {
+		if h.ID != i {
+			t.Fatalf("health rows out of order: %+v", hs)
+		}
+		if h.Breaker != "closed" {
+			t.Fatalf("shard %d breaker %q at rest", i, h.Breaker)
+		}
+		objs += h.Primaries
+	}
+	if objs != 50 {
+		t.Fatalf("health primaries sum to %d, want 50", objs)
+	}
+}

@@ -1,0 +1,178 @@
+// Package shard implements sharded MIO serving: the dataset is split
+// across N in-process shard engines by a two-level space-oriented
+// partition with border-object halo replicas, and a scatter–gather
+// coordinator merges per-shard [LB, UB] score bounds and verified
+// results into answers identical to a single-engine run — degrading to
+// certified intervals, instead of failing, when shards are slow, dead
+// or flapping (DESIGN.md §15).
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"mio/internal/data"
+	"mio/internal/geom"
+)
+
+// Partition is a two-level space-oriented split of a dataset (after
+// Tsitsigkos et al., PAPERS.md): objects are assigned to shards by the
+// min corner of their MBR through x-rank slabs subdivided by y-rank,
+// and each shard additionally receives halo replicas — objects whose
+// MBR lies within MaxR of the shard's primary extent. The replica
+// discipline makes shard-local scores of primary objects exact for any
+// query radius r ≤ MaxR: every possible interaction partner of a
+// primary is present locally, so cross-shard interactions are counted
+// exactly once (in the primary shard of each endpoint) and never
+// twice (replicas are barred from answering).
+type Partition struct {
+	// Shards is the number of shards.
+	Shards int
+	// MaxR is the replica horizon: local scores are exact for r ≤ MaxR.
+	MaxR float64
+	// Primary[g] is the shard that answers for global object g.
+	Primary []int32
+	// Ext[s] is shard s's extent: the bounding box of its primaries'
+	// MBRs.
+	Ext []geom.Box
+	// Members[s] lists shard s's global object ids, ascending: its
+	// primaries plus every halo replica.
+	Members [][]int32
+	// IsPrimary[s] is parallel to Members[s].
+	IsPrimary [][]bool
+}
+
+// BuildPartition splits ds across shards with halo horizon maxR.
+// Primary placement balances object counts: floor(sqrt(shards)) x-rank
+// slabs, each subdivided into y-rank cells, one cell per shard.
+func BuildPartition(ds *data.Dataset, shards int, maxR float64) (*Partition, error) {
+	n := ds.N()
+	if shards < 2 {
+		return nil, fmt.Errorf("shard: need at least 2 shards, got %d", shards)
+	}
+	if shards > n {
+		return nil, fmt.Errorf("shard: %d shards for %d objects", shards, n)
+	}
+	if maxR <= 0 {
+		return nil, fmt.Errorf("shard: replica horizon must be positive, got %g", maxR)
+	}
+
+	mbrs := make([]geom.Box, n)
+	for i := range ds.Objects {
+		mbrs[i] = geom.Bound(ds.Objects[i].Pts)
+	}
+
+	p := &Partition{
+		Shards:    shards,
+		MaxR:      maxR,
+		Primary:   make([]int32, n),
+		Ext:       make([]geom.Box, shards),
+		Members:   make([][]int32, shards),
+		IsPrimary: make([][]bool, shards),
+	}
+
+	// Level 1: split object ids into slabs by x-rank of the MBR min
+	// corner. Slab widths are proportional to the number of shard cells
+	// each slab will hold, so cells end up with balanced object counts.
+	nSlabs := 1
+	for (nSlabs+1)*(nSlabs+1) <= shards {
+		nSlabs++
+	}
+	cellsPerSlab := make([]int, nSlabs)
+	for s := 0; s < nSlabs; s++ {
+		cellsPerSlab[s] = shards / nSlabs
+		if s < shards%nSlabs {
+			cellsPerSlab[s]++
+		}
+	}
+	byX := make([]int32, n)
+	for i := range byX {
+		byX[i] = int32(i)
+	}
+	sort.Slice(byX, func(a, b int) bool {
+		ra, rb := mbrs[byX[a]].Min, mbrs[byX[b]].Min
+		if ra.X != rb.X {
+			return ra.X < rb.X
+		}
+		return byX[a] < byX[b] // deterministic on duplicate coordinates
+	})
+
+	// Level 2: within each slab, split by y-rank into that slab's
+	// cells. Shard ids are assigned slab-major.
+	shardID := int32(0)
+	lo := 0
+	assigned := 0
+	for s := 0; s < nSlabs; s++ {
+		assigned += cellsPerSlab[s]
+		hi := n * assigned / shards
+		slab := append([]int32(nil), byX[lo:hi]...)
+		sort.Slice(slab, func(a, b int) bool {
+			ra, rb := mbrs[slab[a]].Min, mbrs[slab[b]].Min
+			if ra.Y != rb.Y {
+				return ra.Y < rb.Y
+			}
+			return slab[a] < slab[b]
+		})
+		cLo := 0
+		for c := 0; c < cellsPerSlab[s]; c++ {
+			cHi := len(slab) * (c + 1) / cellsPerSlab[s]
+			for _, g := range slab[cLo:cHi] {
+				p.Primary[g] = shardID
+			}
+			cLo = cHi
+			shardID++
+		}
+		lo = hi
+	}
+
+	// Extents, then halos: g is replicated into shard s when its MBR
+	// lies within MaxR of Ext[s] — if any object primary in s could
+	// interact with g at some r ≤ MaxR, then dist(MBR_g, MBR_prim) ≤ r,
+	// MBR_prim ⊆ Ext[s], so this test admits g.
+	for g := 0; g < n; g++ {
+		s := p.Primary[g]
+		p.Ext[s] = p.Ext[s].Union(mbrs[g])
+	}
+	maxR2 := maxR * maxR
+	for s := 0; s < shards; s++ {
+		for g := 0; g < n; g++ {
+			prim := int(p.Primary[g]) == s
+			if !prim && mbrs[g].Dist2ToBox(p.Ext[s]) > maxR2 {
+				continue
+			}
+			p.Members[s] = append(p.Members[s], int32(g))
+			p.IsPrimary[s] = append(p.IsPrimary[s], prim)
+		}
+		if len(p.Members[s]) == 0 {
+			return nil, fmt.Errorf("shard: shard %d received no objects", s)
+		}
+	}
+	return p, nil
+}
+
+// ShardDataset materialises shard s's local dataset: members renumbered
+// from zero, point storage aliased (no copies). The returned mask marks
+// the local ids that are primaries.
+func (p *Partition) ShardDataset(ds *data.Dataset, s int) (*data.Dataset, []bool) {
+	members := p.Members[s]
+	local := &data.Dataset{
+		Name:    fmt.Sprintf("%s[shard %d/%d]", ds.Name, s, p.Shards),
+		Objects: make([]data.Object, len(members)),
+	}
+	for l, g := range members {
+		src := &ds.Objects[g]
+		local.Objects[l] = data.Object{ID: l, Pts: src.Pts, Times: src.Times}
+	}
+	return local, p.IsPrimary[s]
+}
+
+// Primaries returns the number of primary objects of shard s.
+func (p *Partition) Primaries(s int) int {
+	c := 0
+	for _, prim := range p.IsPrimary[s] {
+		if prim {
+			c++
+		}
+	}
+	return c
+}

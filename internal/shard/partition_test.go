@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"testing"
+
+	"mio/internal/data"
+	"mio/internal/geom"
+)
+
+func uniformDS(n int, seed int64) *data.Dataset {
+	return data.GenUniform(data.UniformConfig{N: n, M: 6, FieldSize: 40, Spread: 5, Seed: seed})
+}
+
+// TestPartitionInvariants checks the structural contract every other
+// guarantee rests on: each object has exactly one primary shard, the
+// member lists are sorted and consistent with the primary assignment,
+// and the halo rule replicates every object that could interact with a
+// shard's primaries at any radius up to MaxR.
+func TestPartitionInvariants(t *testing.T) {
+	ds := uniformDS(100, 3)
+	n := ds.N()
+	mbrs := make([]geom.Box, n)
+	for i := range ds.Objects {
+		mbrs[i] = geom.Bound(ds.Objects[i].Pts)
+	}
+	const maxR = 8.0
+	for _, shards := range []int{2, 3, 4, 5, 7} {
+		p, err := BuildPartition(ds, shards, maxR)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		primaries := 0
+		for s := 0; s < shards; s++ {
+			if len(p.Members[s]) == 0 {
+				t.Fatalf("shards=%d: shard %d empty", shards, s)
+			}
+			for l, g := range p.Members[s] {
+				if l > 0 && p.Members[s][l-1] >= g {
+					t.Fatalf("shards=%d: shard %d members not strictly ascending", shards, s)
+				}
+				if want := int(p.Primary[g]) == s; p.IsPrimary[s][l] != want {
+					t.Fatalf("shards=%d: shard %d member %d primary flag %v, Primary says %v",
+						shards, s, g, p.IsPrimary[s][l], want)
+				}
+				if p.IsPrimary[s][l] {
+					primaries++
+				}
+			}
+		}
+		if primaries != n {
+			t.Fatalf("shards=%d: %d primaries for %d objects", shards, primaries, n)
+		}
+
+		// Halo completeness: any object whose MBR is within maxR of
+		// another object's MBR must be present in that object's primary
+		// shard — otherwise a cross-shard interaction would go unscored.
+		member := make([]map[int32]bool, shards)
+		for s := range member {
+			member[s] = make(map[int32]bool, len(p.Members[s]))
+			for _, g := range p.Members[s] {
+				member[s][g] = true
+			}
+		}
+		for g := 0; g < n; g++ {
+			for h := 0; h < n; h++ {
+				if g == h {
+					continue
+				}
+				if mbrs[int32(h)].Dist2ToBox(mbrs[g]) <= maxR*maxR {
+					if s := p.Primary[g]; !member[s][int32(h)] {
+						t.Fatalf("shards=%d: object %d within %g of %d but absent from shard %d",
+							shards, h, maxR, g, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionRejects(t *testing.T) {
+	ds := uniformDS(10, 1)
+	if _, err := BuildPartition(ds, 1, 5); err == nil {
+		t.Fatal("accepted 1 shard")
+	}
+	if _, err := BuildPartition(ds, 11, 5); err == nil {
+		t.Fatal("accepted more shards than objects")
+	}
+	if _, err := BuildPartition(ds, 2, 0); err == nil {
+		t.Fatal("accepted zero replica horizon")
+	}
+}
+
+func TestShardDataset(t *testing.T) {
+	ds := uniformDS(60, 9)
+	p, err := BuildPartition(ds, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < p.Shards; s++ {
+		local, primary := p.ShardDataset(ds, s)
+		if len(primary) != local.N() {
+			t.Fatalf("shard %d: mask length %d vs %d objects", s, len(primary), local.N())
+		}
+		if err := local.Validate(); err != nil {
+			t.Fatalf("shard %d: invalid local dataset: %v", s, err)
+		}
+		for l, g := range p.Members[s] {
+			if local.Objects[l].ID != l {
+				t.Fatalf("shard %d: local object %d has id %d", s, l, local.Objects[l].ID)
+			}
+			if &local.Objects[l].Pts[0] != &ds.Objects[g].Pts[0] {
+				t.Fatalf("shard %d: local object %d copied its points", s, l)
+			}
+		}
+		if got := p.Primaries(s); got == 0 {
+			t.Fatalf("shard %d: no primaries", s)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package shard
+
+// Shard states reported per query.
+const (
+	// StateOK: bounds and verification both completed.
+	StateOK = "ok"
+	// StatePruned: bounds completed and the shard's MaxUB fell below
+	// the merged floor, so verification was skipped entirely.
+	StatePruned = "pruned"
+	// StateLate: bounds completed but verification failed or timed out;
+	// the shard contributes its certified [best LB, MaxUB] instead of
+	// exact scores.
+	StateLate = "late"
+	// StateDown: the bound phase never succeeded (dead, past deadline,
+	// breaker open, or killed by fault injection); only the last-known
+	// envelope speaks for the shard.
+	StateDown = "down"
+)
+
+// ShardRun is one shard's outcome within a single scattered query.
+type ShardRun struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	// Attempts counts bound-phase engine attempts (1 on the happy
+	// path; retries and the hedge add to it).
+	Attempts int  `json:"attempts"`
+	Hedged   bool `json:"hedged,omitempty"`
+	// BestLB/MaxUB are the shard's certified score bounds over its
+	// primaries (meaningless when State is "down").
+	BestLB int    `json:"best_lb"`
+	MaxUB  int    `json:"max_ub"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Report summarises one scattered query for the response envelope and
+// tests: how many shards answered, were pruned by the bound merge, or
+// degraded the answer.
+type Report struct {
+	Shards  int `json:"shards"`
+	Pruned  int `json:"pruned"`
+	Failed  int `json:"failed"` // down + late
+	Hedges  int `json:"hedges"`
+	Retries int `json:"retries"`
+	// Floor is the merged verification threshold (k-th highest of the
+	// surviving shards' lower bounds).
+	Floor    int        `json:"floor"`
+	Degraded bool       `json:"degraded"`
+	PerShard []ShardRun `json:"per_shard"`
+}

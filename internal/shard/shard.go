@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/server/breaker"
+)
+
+// ErrBreakerOpen marks a shard attempt refused by its open circuit
+// breaker: the shard is treated as down for this query without paying
+// an engine run, and recovers through the breaker's half-open probe.
+var ErrBreakerOpen = errors.New("shard: breaker open")
+
+// poolPerShard is each shard's default engine-pool size
+// (Config.Pool overrides it). Two slots let a hedged attempt run
+// while the original straggles; one coordinator query never starts
+// more than two attempts at once per shard, but a caller serving
+// several queries concurrently must provision for all of them
+// (Config.Pool = 2 × its admission width) or slow attempts starve
+// healthy ones out of slots.
+const poolPerShard = 2
+
+// envelopeCap bounds the per-shard upper-bound envelope (distinct
+// radii remembered). Serving workloads draw from a handful of
+// thresholds, so eviction is effectively never hit.
+const envelopeCap = 128
+
+// Shard is one space partition: a local dataset (primaries + halo
+// replicas), a small engine pool with panic quarantine, a circuit
+// breaker, and the last-known upper-bound envelope that certifies
+// degraded answers when the shard cannot be reached.
+type Shard struct {
+	id      int
+	ds      *data.Dataset
+	global  []int32 // local id → global id
+	primary []bool
+	opts    core.Options // engine template (per-shard label store)
+
+	slots chan *core.Engine
+	br    *breaker.Breaker
+
+	mu        sync.Mutex
+	lastErr   string
+	lastErrAt time.Time
+	envelope  map[float64]int // query radius → MaxUB recorded at it
+}
+
+// newShard builds shard id over its local dataset with a pool of
+// pool engines.
+func newShard(id, pool int, ds *data.Dataset, global []int32, primary []bool, opts core.Options, brThreshold int, brCooldown time.Duration) (*Shard, error) {
+	sh := &Shard{
+		id:       id,
+		ds:       ds,
+		global:   global,
+		primary:  primary,
+		opts:     opts,
+		slots:    make(chan *core.Engine, pool),
+		br:       breaker.New(brThreshold, brCooldown),
+		envelope: make(map[float64]int, 8),
+	}
+	for i := 0; i < pool; i++ {
+		e, err := core.NewEngine(ds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+		sh.slots <- e
+	}
+	return sh, nil
+}
+
+// acquire takes an engine slot, waiting on ctx.
+func (sh *Shard) acquire(ctx context.Context) (*core.Engine, error) {
+	select {
+	case e := <-sh.slots:
+		return e, nil
+	default:
+	}
+	select {
+	case e := <-sh.slots:
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns an engine to the pool.
+func (sh *Shard) release(e *core.Engine) { sh.slots <- e }
+
+// quarantine discards a panicked engine and refills its slot with a
+// fresh one built from the shard's template — the same refill
+// discipline the server pool uses. If the rebuild fails the suspect
+// engine goes back: a possibly-tainted engine beats a leaked slot.
+func (sh *Shard) quarantine(old *core.Engine) {
+	e, err := core.NewEngine(sh.ds, sh.opts)
+	if err != nil {
+		sh.slots <- old
+		return
+	}
+	sh.slots <- e
+}
+
+// noteError records the shard's most recent failure for /healthz.
+func (sh *Shard) noteError(err error) {
+	sh.mu.Lock()
+	sh.lastErr = err.Error()
+	sh.lastErrAt = time.Now()
+	sh.mu.Unlock()
+}
+
+// recordEnvelope remembers MaxUB observed for radius r after a
+// successful bound phase. τ^upp is computed from the grid at r, and
+// scores are monotone in the radius, so the recorded value upper-bounds
+// every primary's score at any radius ≤ r — the "last-known envelope"
+// degraded answers fall back on.
+func (sh *Shard) recordEnvelope(r float64, maxUB int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.envelope) >= envelopeCap {
+		if _, exists := sh.envelope[r]; !exists {
+			// Evict the largest radius: it certifies the widest range but
+			// is also the loosest bound; any deterministic choice works.
+			worst := r
+			for rr := range sh.envelope {
+				if rr > worst {
+					worst = rr
+				}
+			}
+			if worst == r {
+				return
+			}
+			delete(sh.envelope, worst)
+		}
+	}
+	sh.envelope[r] = maxUB
+}
+
+// envelopeUB returns the tightest recorded upper bound valid at radius
+// r: the smallest value among entries recorded at radii ≥ r. ok is
+// false when no entry certifies r — the caller falls back to the
+// trivial bound.
+func (sh *Shard) envelopeUB(r float64) (int, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	best, ok := 0, false
+	for rr, ub := range sh.envelope {
+		if rr >= r && (!ok || ub < best) {
+			best, ok = ub, true
+		}
+	}
+	return best, ok
+}
+
+// Health is one shard's status line in /healthz.
+type Health struct {
+	ID        int    `json:"id"`
+	Objects   int    `json:"objects"`
+	Primaries int    `json:"primaries"`
+	Replicas  int    `json:"replicas"`
+	Breaker   string `json:"breaker"`
+	// LastError is the most recent attempt failure ("" when the shard
+	// has never failed); LastErrorAgoS is how long ago it happened.
+	LastError     string  `json:"last_error,omitempty"`
+	LastErrorAgoS float64 `json:"last_error_ago_s,omitempty"`
+	// EnvelopeRadii counts the radii with a recorded upper-bound
+	// envelope — the shard's degradation safety net.
+	EnvelopeRadii int `json:"envelope_radii"`
+}
+
+// health snapshots the shard's status.
+func (sh *Shard) health() Health {
+	sh.mu.Lock()
+	lastErr, lastAt, envN := sh.lastErr, sh.lastErrAt, len(sh.envelope)
+	sh.mu.Unlock()
+	prim := 0
+	for _, p := range sh.primary {
+		if p {
+			prim++
+		}
+	}
+	h := Health{
+		ID:            sh.id,
+		Objects:       len(sh.global),
+		Primaries:     prim,
+		Replicas:      len(sh.global) - prim,
+		Breaker:       sh.br.State().String(),
+		LastError:     lastErr,
+		EnvelopeRadii: envN,
+	}
+	if lastErr != "" {
+		h.LastErrorAgoS = time.Since(lastAt).Seconds()
+	}
+	return h
+}
+
+// sortHealth orders a health slice by shard id (map-order callers).
+func sortHealth(hs []Health) {
+	sort.Slice(hs, func(a, b int) bool { return hs[a].ID < hs[b].ID })
+}

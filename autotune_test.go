@@ -1,0 +1,69 @@
+package mio
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWithAutoTuneAnswerInvariance: an auto-tuned engine must return
+// the identical answer as a default engine, and never more distance
+// computations.
+func TestWithAutoTuneAnswerInvariance(t *testing.T) {
+	for name, ds := range AdversarialDatasets(0.1) {
+		hand, err := NewEngine(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto, err := NewEngine(ds, WithAutoTune())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hand.QueryTopK(8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := auto.QueryTopK(8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.TopK, want.TopK) {
+			t.Errorf("%s: auto-tuned topk %v, want %v", name, got.TopK, want.TopK)
+		}
+		if got.Stats.DistanceComps > want.Stats.DistanceComps {
+			t.Errorf("%s: auto-tuned dist_comps %d > hand %d", name, got.Stats.DistanceComps, want.Stats.DistanceComps)
+		}
+	}
+}
+
+// TestWithAutoTuneRespectsExplicitOptions: knobs fixed by the caller
+// must survive tuning.
+func TestWithAutoTuneRespectsExplicitOptions(t *testing.T) {
+	c, err := buildConfig([]Option{WithAutoTune(), WithWorkers(3), WithUBStrategy(UBGreedyD)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := GenerateUniformSparse(UniformSparseConfig{N: 100, M: 10, FieldSize: 10000, Spread: 15, Seed: 7})
+	opts := c.resolve(ds)
+	if opts.Workers != 3 {
+		t.Fatalf("explicit workers overridden: %d", opts.Workers)
+	}
+	if opts.UB != UBGreedyD {
+		t.Fatalf("explicit UB strategy overridden: %v", opts.UB)
+	}
+	// Unset knobs are filled by the tuner: sparse planar data tunes to
+	// 2-D with a raised freeze threshold.
+	if opts.Dims != 2 {
+		t.Fatalf("planar dataset not tuned to 2-D: dims=%d", opts.Dims)
+	}
+	if opts.FreezeMinPoints != 128 {
+		t.Fatalf("sparse dataset freeze threshold = %d, want 128", opts.FreezeMinPoints)
+	}
+	// Without WithAutoTune, resolve is the identity.
+	plain, err := buildConfig([]Option{WithWorkers(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.resolve(ds); !reflect.DeepEqual(got, plain.opts) {
+		t.Fatalf("resolve mutated options without autotune: %+v", got)
+	}
+}

@@ -11,6 +11,13 @@
 //	benchdiff old.txt new.txt
 //	benchdiff -metric dist_comps BENCH_old.json BENCH_new.json
 //	benchdiff -threshold 2.0 baseline.json current.json   # gate: exit 1 past 2x
+//	benchdiff -history benchmarks/history.json BENCH_new.json   # append, don't compare
+//
+// With -history the single snapshot argument is appended as one run to
+// the named history file (BENCHMARK_DATA shape: {lastUpdate, repoUrl,
+// entries}) — created on first use, written atomically, earlier runs
+// never modified. -commit attaches a commit id to the run. History
+// mode never gates; it records.
 //
 // A delta is "significant" when the sample min/max ranges of old and
 // new do not overlap; with a single sample per side, when it exceeds
@@ -166,6 +173,31 @@ func normalizeBenchName(s string) string {
 	return s
 }
 
+// appendHistory loads one snapshot and appends it as a run to the
+// history file (bench.AppendHistory owns the format and atomicity).
+func appendHistory(historyPath, snapPath, commit string) error {
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		return err
+	}
+	var snap bench.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", snapPath, err)
+	}
+	if snap.SchemaVersion != bench.SnapshotSchemaVersion {
+		return fmt.Errorf("%s: snapshot schema %d, this benchdiff understands %d",
+			snapPath, snap.SchemaVersion, bench.SnapshotSchemaVersion)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("%s: snapshot holds no benchmarks", snapPath)
+	}
+	if err := bench.AppendHistory(historyPath, &snap, commit); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: appended %d benchmarks to %s\n", len(snap.Benchmarks), historyPath)
+	return nil
+}
+
 // row is one compared benchmark.
 type row struct {
 	name        string
@@ -251,12 +283,26 @@ func main() {
 		metric     = flag.String("metric", "ns/op", "metric to compare (ns/op, or a snapshot metric like dist_comps)")
 		threshold  = flag.Float64("threshold", 0, "fail (exit 1) when a significant regression exceeds this new/old ratio; 0 disables")
 		reportOnly = flag.Bool("report-only", false, "always exit 0, even past -threshold")
+		history    = flag.String("history", "", "append the single snapshot argument to this history file instead of comparing")
+		commit     = flag.String("commit", "", "commit id to record with -history")
 	)
 	flag.Usage = func() {
-		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old-file new-file\n")
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] old-file new-file\n       benchdiff -history <file> snapshot.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *history != "" {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := appendHistory(*history, flag.Arg(0), *commit); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -7,6 +7,8 @@
 //	miobench                       # everything, default scale
 //	miobench -experiment fig5,fig9 -scale 0.5
 //	miobench -json auto            # write BENCH_<date>.json for benchdiff
+//	miobench -json auto -autotune  # snapshot with auto-tuned engine knobs
+//	miobench -json - -datasets Sparse,Commute   # snapshot adversarial sets
 //	miobench -list
 package main
 
@@ -32,6 +34,8 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "emit CSV blocks instead of aligned tables")
 		jsonOut    = flag.String("json", "", "write a benchmark snapshot to this file instead of running experiments ('auto' = BENCH_<date>.json, '-' = stdout)")
 		reps       = flag.Int("reps", 3, "repetitions per snapshot measurement (median is recorded)")
+		autotune   = flag.Bool("autotune", false, "snapshot with profile-driven knob selection instead of the hand defaults (needs -json)")
+		datasets   = flag.String("datasets", "", "comma-separated snapshot datasets: standard (Bird, Neuron, ...) or adversarial (OneCell, Sparse, PowerSize, Commute); default Bird,Neuron (needs -json)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -91,6 +95,18 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
 		}
 		return
+	}
+
+	if (*autotune || *datasets != "") && *jsonOut == "" {
+		fatal("-autotune/-datasets only apply to snapshots; pass -json")
+	}
+	s.AutoTune = *autotune
+	if *datasets != "" {
+		for _, f := range strings.Split(*datasets, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				s.SnapshotSets = append(s.SnapshotSets, f)
+			}
+		}
 	}
 
 	if *jsonOut != "" {

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "all", "dataset to generate: neuron, neuron2, bird, bird2, syn, uniform or all")
+		dataset = flag.String("dataset", "all", "dataset to generate: neuron, neuron2, bird, bird2, syn, uniform, the adversarial onecell, sparse, powersize, commute, or all (adversarial sets need an explicit -dataset)")
 		n       = flag.Int("n", 0, "override object count (0 = dataset default)")
 		m       = flag.Int("m", 0, "override points per object (0 = dataset default)")
 		seed    = flag.Int64("seed", 0, "override RNG seed (0 = dataset default)")
@@ -135,6 +135,43 @@ func generate(name string, n, m int, seed int64, scale float64) (*data.Dataset, 
 			cfg.Seed = seed
 		}
 		return data.GenUniform(cfg), nil
+	case "onecell":
+		cfg := data.DefaultOneCell()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenOneCell(cfg), nil
+	case "sparse":
+		cfg := data.DefaultUniformSparse()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenUniformSparse(cfg), nil
+	case "powersize":
+		cfg := data.DefaultPowerLawSizes()
+		cfg.N = applyN(cfg.N)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenPowerLawSizes(cfg), nil
+	case "commute":
+		cfg := data.DefaultHotspotCommute()
+		cfg.N = applyN(cfg.N)
+		if m > 0 {
+			cfg.M = m
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return data.GenHotspotCommute(cfg), nil
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", name)
 	}

@@ -8,6 +8,7 @@
 //	mioload -url http://localhost:8080 -n 2000 -c 16 -rs 4,5,6 -skew 1.3
 //	mioload -compare -scale 0.25       # self-contained A/B benchmark
 //	mioload -compare -shards 4         # sharded: healthy vs fault-injected
+//	mioload -compare -dataset commute  # A/B over an adversarial dataset
 //
 // -compare needs no running server: it generates a Syn-style dataset,
 // starts two in-process servers — one with the full serving stack,
@@ -60,6 +61,7 @@ func main() {
 		burst   = flag.Bool("burst", false, "closed-loop waves: all -c workers fire simultaneously and wait for the slowest (with -compare: batch execution vs query-major)")
 		kspread = flag.Int("kspread", 0, "cycle each worker's k over 1..kspread instead of fixed -k (>1 enables)")
 		shards  = flag.Int("shards", 0, "with -compare: A/B a healthy sharded cluster vs the same cluster under injected shard faults (>0 enables)")
+		dataset = flag.String("dataset", "syn", "dataset generated for -compare: syn, or adversarial onecell, sparse, powersize, commute")
 	)
 	flag.Parse()
 
@@ -87,11 +89,11 @@ func main() {
 	if *compare {
 		switch {
 		case *shards > 0:
-			runCompareShards(cfg, *scale, *workers, *pool, *shards)
+			runCompareShards(cfg, *dataset, *scale, *workers, *pool, *shards)
 		case *burst:
-			runCompareBatch(cfg, *scale, *workers, *pool)
+			runCompareBatch(cfg, *dataset, *scale, *workers, *pool)
 		default:
-			runCompare(cfg, *scale, *workers, *pool)
+			runCompare(cfg, *dataset, *scale, *workers, *pool)
 		}
 		return
 	}
@@ -108,13 +110,8 @@ func main() {
 // (no cache, no coalescing) on the same generated dataset and
 // workload. Both keep the label store, so the delta isolates what the
 // serving layer itself contributes.
-func runCompare(cfg loadgen.Config, scale float64, workers, pool int) {
-	gen := data.DefaultSyn()
-	gen.N = int(float64(gen.N) * scale)
-	if gen.N < 1 {
-		gen.N = 1
-	}
-	ds := data.GenPowerLaw(gen)
+func runCompare(cfg loadgen.Config, dataset string, scale float64, workers, pool int) {
+	ds := genDataset(dataset, scale)
 	fmt.Printf("mioload -compare: %q dataset, %d objects, %d points; %d requests, %d workers, rs=%v skew=%g\n",
 		ds.Name, ds.N(), ds.TotalPoints(), cfg.Requests, cfg.Concurrency, cfg.RValues, cfg.Skew)
 
@@ -163,7 +160,7 @@ func runCompare(cfg loadgen.Config, scale float64, workers, pool int) {
 // request coalescing: it is the strongest non-batch configuration
 // (identical (r, k) requests still collapse), so the delta isolates
 // what cross-query cell sharing itself buys.
-func runCompareBatch(cfg loadgen.Config, scale float64, workers, pool int) {
+func runCompareBatch(cfg loadgen.Config, dataset string, scale float64, workers, pool int) {
 	if !cfg.Burst {
 		fatal("batch compare requires -burst")
 	}
@@ -189,12 +186,7 @@ func runCompareBatch(cfg loadgen.Config, scale float64, workers, pool int) {
 		}
 	}
 	cfg.RValues = expanded
-	gen := data.DefaultSyn()
-	gen.N = int(float64(gen.N) * scale)
-	if gen.N < 1 {
-		gen.N = 1
-	}
-	ds := data.GenPowerLaw(gen)
+	ds := genDataset(dataset, scale)
 	fmt.Printf("mioload -compare -burst: %q dataset, %d objects, %d points; %d requests in waves of %d, %d distinct thresholds, kspread=%d\n",
 		ds.Name, ds.N(), ds.TotalPoints(), cfg.Requests, cfg.Concurrency, len(cfg.RValues), cfg.KSpread)
 
@@ -251,13 +243,8 @@ func runCompareBatch(cfg loadgen.Config, scale float64, workers, pool int) {
 // sides so every request exercises the scatter path; the delta
 // surfaces what fault tolerance costs (retries, hedges) and what it
 // preserves (200s with certified intervals instead of 5xx).
-func runCompareShards(cfg loadgen.Config, scale float64, workers, pool, shards int) {
-	gen := data.DefaultSyn()
-	gen.N = int(float64(gen.N) * scale)
-	if gen.N < 1 {
-		gen.N = 1
-	}
-	ds := data.GenPowerLaw(gen)
+func runCompareShards(cfg loadgen.Config, dataset string, scale float64, workers, pool, shards int) {
+	ds := genDataset(dataset, scale)
 	fmt.Printf("mioload -compare -shards: %q dataset, %d objects, %d points; %d requests, %d workers, rs=%v skew=%g, %d shards\n",
 		ds.Name, ds.N(), ds.TotalPoints(), cfg.Requests, cfg.Concurrency, cfg.RValues, cfg.Skew, shards)
 
@@ -346,6 +333,41 @@ func parseRS(list string) ([]float64, error) {
 		rs = append(rs, r)
 	}
 	return rs, nil
+}
+
+// genDataset resolves the -dataset flag for the -compare modes: the
+// Syn stand-in by default, or one of the adversarial tuning stresses.
+func genDataset(name string, scale float64) *data.Dataset {
+	clamp := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	switch name {
+	case "syn":
+		cfg := data.DefaultSyn()
+		cfg.N = clamp(int(float64(cfg.N) * scale))
+		return data.GenPowerLaw(cfg)
+	case "onecell":
+		cfg := data.DefaultOneCell()
+		cfg.N = clamp(int(float64(cfg.N) * scale))
+		return data.GenOneCell(cfg)
+	case "sparse":
+		cfg := data.DefaultUniformSparse()
+		cfg.N = clamp(int(float64(cfg.N) * scale))
+		return data.GenUniformSparse(cfg)
+	case "powersize":
+		cfg := data.DefaultPowerLawSizes()
+		cfg.N = clamp(int(float64(cfg.N) * scale))
+		return data.GenPowerLawSizes(cfg)
+	case "commute":
+		cfg := data.DefaultHotspotCommute()
+		cfg.N = clamp(int(float64(cfg.N) * scale))
+		return data.GenHotspotCommute(cfg)
+	}
+	fatal(fmt.Sprintf("unknown -dataset %q (syn, onecell, sparse, powersize, commute)", name))
+	panic("unreachable")
 }
 
 func fatal(v any) {

@@ -12,6 +12,20 @@
 //	miosrv -gen syn -faults 'seed=42;engine.verification=panic:0.01'  # chaos mode
 //	miosrv -gen syn -state-dir ./state    # durable: restarts recover dataset + labels
 //	miosrv -gen syn -shards 4             # fault-tolerant sharded scatter–gather
+//	miosrv -gen commute -autotune         # profile the dataset, let it pick the knobs
+//
+// -shards and -batch are mutually exclusive: both want to own
+// /v1/query routing (scatter–gather vs epoch batching), and the server
+// refuses the combination. All flag combinations are validated before
+// the dataset is loaded, so a bad invocation fails in milliseconds.
+//
+// With -autotune the engine knobs (-workers, -dims, the partitioning
+// strategies and the freeze threshold) are selected from a profile of
+// the served dataset (DESIGN.md §16); passing -workers or -dims
+// alongside -autotune is an error. -inflight, -batch-window and
+// -batch-max are tuned only when not set explicitly. Every dataset
+// swap re-profiles and re-tunes; /metrics reports the active profile
+// and knob assignment under "tuning".
 //
 // With -state-dir the server keeps its state in a crash-safe snapshot
 // directory: the dataset (and every label set queries compute) is
@@ -49,7 +63,7 @@ import (
 func main() {
 	var (
 		dataPath = flag.String("data", "", "dataset file to serve")
-		gen      = flag.String("gen", "", "serve a generated dataset instead: neuron, bird, syn or uniform")
+		gen      = flag.String("gen", "", "serve a generated dataset instead: neuron, bird, syn, uniform, or adversarial onecell, sparse, powersize, commute")
 		scale    = flag.Float64("scale", 1, "size multiplier for -gen")
 		seed     = flag.Int64("seed", 1, "RNG seed for -gen")
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -74,8 +88,29 @@ func main() {
 		shardTO  = flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 selects 2s; needs -shards)")
 		shardTry = flag.Int("shard-retries", 0, "per-shard retry budget after a failed attempt (0 selects 1, negative disables; needs -shards)")
 		shardHdg = flag.Duration("shard-hedge", 0, "launch a speculative extra attempt against a straggling shard after this long (0 selects timeout/4, negative disables; needs -shards)")
+		autotune = flag.Bool("autotune", false, "profile the dataset and auto-select the engine knobs (conflicts with explicit -workers/-dims; -inflight/-batch-window/-batch-max are tuned only when unset)")
 	)
 	flag.Parse()
+
+	// Validate every flag combination up front, before any dataset is
+	// loaded or generated: a bad invocation must fail in milliseconds
+	// with one clear line, not after minutes of generation.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch {
+	case *shards > 0 && *batchOn:
+		fatal("-shards and -batch are mutually exclusive (both own /v1/query routing)")
+	case (*batchWin != 0 || *batchMax != 0) && !*batchOn:
+		fatal("-batch-window/-batch-max require -batch")
+	case (*shardR != 0 || *shardTO != 0 || *shardTry != 0 || *shardHdg != 0) && *shards == 0:
+		fatal("-shard-max-r/-shard-timeout/-shard-retries/-shard-hedge require -shards")
+	case *labelDir != "" && *stateDir != "":
+		fatal("-labels and -state-dir are mutually exclusive (labels live inside the state directory)")
+	case *dataPath != "" && *gen != "":
+		fatal("-data and -gen are mutually exclusive")
+	case *autotune && (explicit["workers"] || explicit["dims"]):
+		fatal("-autotune conflicts with explicit -workers/-dims (the tuner owns those knobs; drop the explicit flag)")
+	}
 
 	var reg *fault.Registry
 	if *faults != "" {
@@ -96,9 +131,6 @@ func main() {
 		stateStore *labelstore.Store
 	)
 	if *stateDir != "" {
-		if *labelDir != "" {
-			fatal("-labels and -state-dir are mutually exclusive (labels live inside the state directory)")
-		}
 		var err error
 		st, err = server.OpenState(*stateDir, durable.IO{Faults: reg})
 		if err != nil {
@@ -164,15 +196,14 @@ func main() {
 		ShardTimeout:    *shardTO,
 		ShardRetries:    *shardTry,
 		ShardHedgeAfter: *shardHdg,
+		AutoTune:        *autotune,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "miosrv: "+format+"\n", args...)
+		},
 	}
-	if (*batchWin != 0 || *batchMax != 0) && !*batchOn {
-		fatal("-batch-window/-batch-max require -batch")
-	}
-	if (*shardR != 0 || *shardTO != 0 || *shardTry != 0 || *shardHdg != 0) && *shards == 0 {
-		fatal("-shard-max-r/-shard-timeout/-shard-retries/-shard-hedge require -shards")
-	}
-	if *shards > 0 && *batchOn {
-		fatal("-shards and -batch are mutually exclusive")
+	if *autotune && !explicit["inflight"] {
+		// Unset pool size: let the tuner pick it (pool-fill-cores).
+		cfg.MaxInFlight = 0
 	}
 	srv, err := server.New(ds, opts, cfg)
 	if err != nil {
@@ -185,8 +216,8 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("miosrv: serving %q (%d objects, %d points) on %s  "+
-		"(pool %d, cache %v, coalesce %v, batch %v, shards %d)\n",
-		ds.Name, ds.N(), ds.TotalPoints(), *addr, *inflight, !*noCache, !*noCoal, *batchOn, *shards)
+		"(pool %d, cache %v, coalesce %v, batch %v, shards %d, autotune %v)\n",
+		ds.Name, ds.N(), ds.TotalPoints(), *addr, srv.MaxInFlight(), !*noCache, !*noCoal, *batchOn, *shards, *autotune)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -254,6 +285,26 @@ func loadOrGen(path, gen string, scale float64, seed int64) (*data.Dataset, erro
 	case "uniform":
 		cfg := data.UniformConfig{N: clamp(2000 * scale), M: 16, FieldSize: 1000, Spread: 8, Seed: seed}
 		return data.GenUniform(cfg), nil
+	case "onecell":
+		cfg := data.DefaultOneCell()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenOneCell(cfg), nil
+	case "sparse":
+		cfg := data.DefaultUniformSparse()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenUniformSparse(cfg), nil
+	case "powersize":
+		cfg := data.DefaultPowerLawSizes()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenPowerLawSizes(cfg), nil
+	case "commute":
+		cfg := data.DefaultHotspotCommute()
+		cfg.N = clamp(float64(cfg.N) * scale)
+		cfg.Seed = seed
+		return data.GenHotspotCommute(cfg), nil
 	}
 	return nil, fmt.Errorf("unknown -gen dataset %q", gen)
 }

@@ -44,6 +44,37 @@ func GenerateUniform(cfg UniformConfig) *Dataset { return data.GenUniform(cfg) }
 // factor (1.0 = the laptop-scale defaults).
 func StandardDatasets(scale float64) map[string]*Dataset { return data.Standard(scale) }
 
+// Adversarial generator configurations (DESIGN.md §16): datasets shaped
+// against the engine's hand-set defaults, used to stress the
+// auto-tuner's heuristic table.
+type (
+	// OneCellConfig parameterises the all-in-one-cell stress.
+	OneCellConfig = data.OneCellConfig
+	// UniformSparseConfig parameterises the planar uniform-sparse stress.
+	UniformSparseConfig = data.UniformSparseConfig
+	// PowerLawSizesConfig parameterises the power-law object-size stress.
+	PowerLawSizesConfig = data.PowerLawSizesConfig
+	// HotspotCommuteConfig parameterises the hotspot-commute mobility mix.
+	HotspotCommuteConfig = data.HotspotCommuteConfig
+)
+
+// GenerateOneCell generates the all-in-one-cell dataset.
+func GenerateOneCell(cfg OneCellConfig) *Dataset { return data.GenOneCell(cfg) }
+
+// GenerateUniformSparse generates the planar uniform-sparse dataset.
+func GenerateUniformSparse(cfg UniformSparseConfig) *Dataset { return data.GenUniformSparse(cfg) }
+
+// GeneratePowerLawSizes generates the power-law object-size dataset.
+func GeneratePowerLawSizes(cfg PowerLawSizesConfig) *Dataset { return data.GenPowerLawSizes(cfg) }
+
+// GenerateHotspotCommute generates the hotspot-commute dataset.
+func GenerateHotspotCommute(cfg HotspotCommuteConfig) *Dataset { return data.GenHotspotCommute(cfg) }
+
+// AdversarialDatasets returns the four adversarial datasets of
+// DESIGN.md §16 (OneCell, Sparse, PowerSize, Commute) scaled by the
+// given factor.
+func AdversarialDatasets(scale float64) map[string]*Dataset { return data.Adversarial(scale) }
+
 // WithTimestamps stamps every point of ds with synthetic generation
 // times for use with TemporalEngine: each object's points are stamped
 // sequentially with the given tick from a random offset in [0, horizon).

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The history file accumulates snapshot results across commits in the
+// BENCHMARK_DATA shape used by the common benchmark-tracking GitHub
+// actions: a top-level {lastUpdate, repoUrl, entries} document whose
+// entries map tool names to append-only runs, each run a {commit?,
+// date, tool, benches} record with flat {name, value, unit, extra}
+// measurements. cmd/benchdiff -history appends one run per snapshot;
+// nothing in this repo gates on the file — it exists for plotting and
+// for archaeology.
+
+// HistoryBench is one flat measurement inside a history run.
+type HistoryBench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// HistoryCommit identifies the commit a run measured, when known.
+type HistoryCommit struct {
+	ID string `json:"id"`
+}
+
+// HistoryEntry is one appended run: the snapshot's benchmarks
+// flattened to (name, value, unit) triples.
+type HistoryEntry struct {
+	Commit *HistoryCommit `json:"commit,omitempty"`
+	// Date is the run timestamp in Unix milliseconds (the snapshot's
+	// date at midnight UTC).
+	Date    int64          `json:"date"`
+	Tool    string         `json:"tool"`
+	Benches []HistoryBench `json:"benches"`
+}
+
+// History is the whole benchmarks/history.json document.
+type History struct {
+	LastUpdate int64                     `json:"lastUpdate"`
+	RepoURL    string                    `json:"repoUrl"`
+	Entries    map[string][]HistoryEntry `json:"entries"`
+}
+
+// historyTool is the entries key every snapshot run appends under.
+const historyTool = "miobench"
+
+// historyEntry flattens a snapshot into one appendable run. Benches
+// are ordered: per record, ns/op first, then its metrics sorted by
+// name — so appends are deterministic and diffs of the file are
+// readable.
+func historyEntry(snap *Snapshot, commit string) HistoryEntry {
+	e := HistoryEntry{Tool: historyTool}
+	if commit != "" {
+		e.Commit = &HistoryCommit{ID: commit}
+	}
+	if t, err := time.Parse("2006-01-02", snap.Date); err == nil {
+		e.Date = t.UnixMilli()
+	}
+	for _, b := range snap.Benchmarks {
+		extra := fmt.Sprintf("iters=%d", b.Iters)
+		if snap.AutoTuned {
+			extra += " autotuned"
+		}
+		e.Benches = append(e.Benches, HistoryBench{
+			Name: b.Name, Value: b.NsPerOp, Unit: "ns/op", Extra: extra,
+		})
+		metrics := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			metrics = append(metrics, k)
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			e.Benches = append(e.Benches, HistoryBench{
+				Name: b.Name + "/" + k, Value: b.Metrics[k], Unit: k,
+			})
+		}
+	}
+	return e
+}
+
+// AppendHistory appends snap as one run to the history file at path,
+// creating it (and its directory) on first use. The write is atomic —
+// temp file in the same directory, fsync, rename — so a crash never
+// truncates accumulated history. Existing entries are never modified;
+// lastUpdate moves to the new run's date.
+func AppendHistory(path string, snap *Snapshot, commit string) error {
+	h := &History{Entries: map[string][]HistoryEntry{}}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, h); err != nil {
+			return fmt.Errorf("history: %s exists but is not a history file: %w", path, err)
+		}
+		if h.Entries == nil {
+			h.Entries = map[string][]HistoryEntry{}
+		}
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("history: %w", err)
+	}
+
+	entry := historyEntry(snap, commit)
+	h.Entries[historyTool] = append(h.Entries[historyTool], entry)
+	if entry.Date > h.LastUpdate {
+		h.LastUpdate = entry.Date
+	}
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".history-*.json")
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		tmp.Close()
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return nil
+}

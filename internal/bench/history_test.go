@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func historySnap(date string, auto bool) *Snapshot {
+	return &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Date:          date,
+		AutoTuned:     auto,
+		Benchmarks: []BenchRecord{
+			{Name: "EngineQuery/Bird/r=4", NsPerOp: 1000, Iters: 3,
+				Metrics: map[string]float64{"dist_comps": 42, "candidates": 7}},
+			{Name: "Verification/Bird/r=4", NsPerOp: 500, Iters: 3,
+				Metrics: map[string]float64{"dist_comps": 42}},
+		},
+	}
+}
+
+func TestAppendHistoryCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "benchmarks", "history.json")
+
+	if err := AppendHistory(path, historySnap("2026-08-01", false), "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, historySnap("2026-08-08", true), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h History
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	runs := h.Entries["miobench"]
+	if len(runs) != 2 {
+		t.Fatalf("entries[miobench] holds %d runs, want 2", len(runs))
+	}
+	// Appends never rewrite earlier runs.
+	if runs[0].Commit == nil || runs[0].Commit.ID != "abc123" {
+		t.Fatalf("first run lost its commit: %+v", runs[0].Commit)
+	}
+	if runs[1].Commit != nil {
+		t.Fatalf("second run invented a commit: %+v", runs[1].Commit)
+	}
+	if runs[0].Date >= runs[1].Date || h.LastUpdate != runs[1].Date {
+		t.Fatalf("dates not monotone: %d, %d, lastUpdate %d", runs[0].Date, runs[1].Date, h.LastUpdate)
+	}
+	// Flattening: ns/op first, then metrics sorted by name.
+	b := runs[0].Benches
+	wantNames := []string{
+		"EngineQuery/Bird/r=4", "EngineQuery/Bird/r=4/candidates", "EngineQuery/Bird/r=4/dist_comps",
+		"Verification/Bird/r=4", "Verification/Bird/r=4/dist_comps",
+	}
+	if len(b) != len(wantNames) {
+		t.Fatalf("run holds %d benches, want %d", len(b), len(wantNames))
+	}
+	for i, name := range wantNames {
+		if b[i].Name != name {
+			t.Fatalf("bench[%d] = %q, want %q", i, b[i].Name, name)
+		}
+	}
+	if b[0].Unit != "ns/op" || b[0].Value != 1000 || b[0].Extra != "iters=3" {
+		t.Fatalf("ns/op bench malformed: %+v", b[0])
+	}
+	if b[2].Unit != "dist_comps" || b[2].Value != 42 {
+		t.Fatalf("metric bench malformed: %+v", b[2])
+	}
+	// The autotuned run is marked.
+	if runs[1].Benches[0].Extra != "iters=3 autotuned" {
+		t.Fatalf("autotuned run not marked: %q", runs[1].Benches[0].Extra)
+	}
+	// No stray temp files survive.
+	files, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("history dir holds %d files, want just history.json", len(files))
+	}
+}
+
+func TestAppendHistoryRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, historySnap("2026-08-01", false), ""); err == nil {
+		t.Fatal("appending over a non-history file must fail, not clobber it")
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "not json" {
+		t.Fatal("failed append clobbered the existing file")
+	}
+}

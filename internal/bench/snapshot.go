@@ -14,6 +14,7 @@ import (
 	"mio/internal/core"
 	"mio/internal/data"
 	"mio/internal/shard"
+	"mio/internal/tune"
 )
 
 // SnapshotSchemaVersion identifies the BENCH_*.json layout. Bump it on
@@ -36,18 +37,34 @@ type BenchRecord struct {
 // Snapshot is the machine-readable benchmark record written by
 // `miobench -json` and consumed by cmd/benchdiff.
 type Snapshot struct {
-	SchemaVersion int           `json:"schema_version"`
-	Date          string        `json:"date"`
-	GoVersion     string        `json:"go_version"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Scale         float64       `json:"scale"`
-	Benchmarks    []BenchRecord `json:"benchmarks"`
+	SchemaVersion int     `json:"schema_version"`
+	Date          string  `json:"date"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Scale         float64 `json:"scale"`
+	// AutoTuned records that the engines were configured by
+	// internal/tune rather than the hand defaults.
+	AutoTuned bool `json:"auto_tuned,omitempty"`
+	// Profiles holds the measured tune.Profile of every snapshot
+	// dataset, keyed by name — the workload context a reader needs to
+	// interpret the numbers (and to re-derive the tuner's choices).
+	Profiles   map[string]*tune.Profile `json:"profiles,omitempty"`
+	Benchmarks []BenchRecord            `json:"benchmarks"`
 }
 
-// snapshotDatasets is the subset of stand-ins the snapshot measures:
-// the two the paper leans on hardest, one sparse/many-objects (Bird)
-// and one dense/many-points (Neuron).
+// snapshotDatasets is the subset of stand-ins the snapshot measures by
+// default: the two the paper leans on hardest, one sparse/many-objects
+// (Bird) and one dense/many-points (Neuron). Suite.SnapshotSets
+// overrides it (the tune-gate adds adversarial sets).
 var snapshotDatasets = []string{"Bird", "Neuron"}
+
+// snapshotSets resolves the dataset list one Snapshot call measures.
+func (s *Suite) snapshotSets() []string {
+	if len(s.SnapshotSets) > 0 {
+		return s.SnapshotSets
+	}
+	return snapshotDatasets
+}
 
 // Snapshot measures "EngineQuery/<ds>/r=<r>" (one full single-core
 // top-1 query) and "Verification/<ds>/r=<r>" (that query's
@@ -66,14 +83,24 @@ func (s *Suite) Snapshot(date string, reps int) (*Snapshot, error) {
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Scale:         s.Scale,
+		AutoTuned:     s.AutoTune,
+		Profiles:      map[string]*tune.Profile{},
 	}
-	sets := s.Datasets()
-	for _, name := range snapshotDatasets {
-		ds, ok := sets[name]
-		if !ok {
-			return nil, fmt.Errorf("snapshot: unknown dataset %q", name)
+	for _, name := range s.snapshotSets() {
+		ds, err := s.snapshotDataset(name)
+		if err != nil {
+			return nil, err
 		}
-		eng, err := core.NewEngine(ds, core.Options{Workers: 1})
+		prof := tune.Profiler(ds)
+		snap.Profiles[name] = prof
+		opts := core.Options{Workers: 1}
+		if s.AutoTune {
+			opts = tune.Select(prof, tune.Env{
+				MaxProcs:   runtime.GOMAXPROCS(0),
+				ExpectedRs: s.Rs,
+			}).Opts
+		}
+		eng, err := core.NewEngine(ds, opts)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: %s: %w", name, err)
 		}
@@ -137,7 +164,13 @@ const scatterShards = 4
 // the benchdiff gate pin sharded-path work exactly.
 func scatterRecord(name string, ds *data.Dataset, r float64, reps int) (BenchRecord, error) {
 	maxR := math.Ceil(r) + 1 // replica horizon comfortably past the measured radius
-	coord, err := shard.New(ds, core.Options{Workers: 1}, shard.Config{Shards: scatterShards, MaxR: maxR})
+	// Hedging is disabled for the measurement: on a healthy in-process
+	// cluster a speculative attempt only fires when a shard strays past
+	// timeout/4, which on a slow or loaded host turns the record
+	// bimodal (the hedge doubles the work right at the cliff). The
+	// serving default keeps hedges; the benchmark wants determinism.
+	coord, err := shard.New(ds, core.Options{Workers: 1},
+		shard.Config{Shards: scatterShards, MaxR: maxR, HedgeAfter: -1})
 	if err != nil {
 		return BenchRecord{}, fmt.Errorf("snapshot: %s scatter: %w", name, err)
 	}

@@ -110,6 +110,21 @@ func (s *Scratch) OrScratch(t *Scratch) {
 	}
 }
 
+// AndScratch sets s &= t. Used by object-partitioned parallel
+// verification to restrict a worker's candidate mask to the objects it
+// owns.
+func (s *Scratch) AndScratch(t *Scratch) {
+	for i := 0; i <= s.maxWord; i++ {
+		w := s.word(i)
+		if w == 0 {
+			continue
+		}
+		if nw := w & t.word(i); nw != w {
+			s.setWord(i, nw)
+		}
+	}
+}
+
 // AndNotFromCompressed sets s = c &^ sub, replacing s's current
 // contents. This is the "b ← b^adj(c) − b(o_i)" step of verification
 // (Algorithm 6, line 10).

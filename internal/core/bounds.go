@@ -172,7 +172,7 @@ func (q *query) upperBoundObject(i int, scratch *bitmap.Scratch, ctr *ctrSet) {
 		if q.labels != nil && !q.groupActiveUpper(i, g) {
 			continue
 		}
-		q.orGroupAdj(i, g, scratch, ctr)
+		q.orGroupAdj(i, g, scratch, ctr, true)
 	}
 	tau := scratch.Cardinality() - 1
 	if tau < 0 {
@@ -182,8 +182,16 @@ func (q *query) upperBoundObject(i int, scratch *bitmap.Scratch, ctr *ctrSet) {
 }
 
 // orGroupAdj ORs b^adj of the group's cell into scratch, materialising
-// the adjacency bitset if needed, and performs Labeling-1/-2.
-func (q *query) orGroupAdj(i int, g pointGroup, scratch *bitmap.Scratch, ctr *ctrSet) {
+// the adjacency bitset if needed, and performs Labeling-1/-2. label2
+// gates the Labeling-2 clears: the decision is prefix-dependent (a
+// group contributes iff its adj has a bit outside the union of the
+// groups OR-ed before it), so callers whose group order differs from
+// the serial scan — the cost-partitioned UBGreedyP workers — pass
+// false and replay the decision afterwards (labelUpperReplay), keeping
+// collected label stores identical at every knob assignment.
+// Labeling-1 stays here: it fires on the one fresh computation of a
+// cell and clears that cell's own points, which is order-independent.
+func (q *query) orGroupAdj(i int, g pointGroup, scratch *bitmap.Scratch, ctr *ctrSet, label2 bool) {
 	adj, fresh := q.idx.large.ComputeAdj(g.key)
 	if fresh {
 		ctr.adjComputed++
@@ -202,11 +210,31 @@ func (q *query) orGroupAdj(i int, g pointGroup, scratch *bitmap.Scratch, ctr *ct
 	}
 	prev := scratch.Cardinality()
 	scratch.OrCompressed(adj)
-	if q.newLabels != nil {
+	if label2 && q.newLabels != nil {
 		// Labeling-2 (Observation 2): points whose OR left b(o_i)
 		// unchanged are skippable in future upper-bounding. When the OR
 		// did contribute, the group's first point is the contributor
 		// and keeps its label.
+		pts := g.pts
+		if scratch.Cardinality() != prev {
+			pts = pts[1:]
+		}
+		for _, pt := range pts {
+			q.newLabels.ClearBit(i, int(pt), labelstore.BitUpper)
+		}
+	}
+}
+
+// labelUpperReplay re-walks object i's groups in serial order, redoing
+// only the Labeling-2 contribution decision. Every adj it touches was
+// memoised by the parallel OR pass that ran just before, so the replay
+// costs bitmap ORs alone and leaves the work counters untouched.
+func (q *query) labelUpperReplay(i int, scratch *bitmap.Scratch) {
+	scratch.Reset()
+	for _, g := range q.idx.groups[i] {
+		adj, _ := q.idx.large.ComputeAdj(g.key)
+		prev := scratch.Cardinality()
+		scratch.OrCompressed(adj) //lint:ignore scratch accumulation across one object's groups is the point (prefix-dependent contribution test); Reset runs per object, before this loop
 		pts := g.pts
 		if scratch.Cardinality() != prev {
 			pts = pts[1:]

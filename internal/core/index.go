@@ -88,9 +88,13 @@ type query struct {
 	restrict []bool
 
 	// Per-worker scratch bitsets for parallel verification, allocated
-	// lazily on the first verified candidate.
-	vBOi  []*bitmap.Scratch
-	vMask []*bitmap.Scratch
+	// lazily on the first verified candidate. vShare[w] is worker w's
+	// object share {j : j mod t == w}, constant for the whole query;
+	// vPts is the reusable label-filtered point-sequence buffer.
+	vBOi   []*bitmap.Scratch
+	vMask  []*bitmap.Scratch
+	vShare []*bitmap.Scratch
+	vPts   []int32
 
 	// ctx carries the caller's cancellation; nil means background.
 	ctx context.Context

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mio/internal/core/labelstore"
+)
+
+// TestKnobParity is the answer-invariance contract the auto-tuner
+// (internal/tune) relies on: every tunable knob assignment must return
+// the identical top-k AND the identical work counters. DistanceComps
+// in particular must be bitwise equal — the CI bench-smoke gate fails
+// on any increase, so a tuner that changed the count at some worker
+// count could never be deployed. Candidates and Verified pin the
+// bounding phases and the Corollary-1 termination point the same way.
+func TestKnobParity(t *testing.T) {
+	sets := testDatasets(t)
+	for name, ds := range sets {
+		for _, r := range []float64{6, 10} {
+			base, err := NewEngine(ds, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := base.RunTopK(r, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []Options{
+				{Workers: 2},
+				{Workers: 3},
+				{Workers: 8},
+				{Workers: 4, LB: LBHashP},
+				{Workers: 4, UB: UBGreedyD},
+				{Workers: 2, LB: LBHashP, UB: UBGreedyD},
+				{Workers: 1, FreezeMinPoints: 8},
+				{Workers: 4, FreezeMinPoints: 8},
+				{Workers: 4, DisableFreeze: true},
+				{Workers: 1, FreezeMinPoints: 128},
+				{Workers: 5, FreezeMinPoints: 128},
+			} {
+				eng, err := NewEngine(ds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.RunTopK(r, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.TopK, want.TopK) {
+					t.Errorf("%s r=%g opts=%+v: topk %v, want %v", name, r, opts, got.TopK, want.TopK)
+				}
+				if got.Stats.DistanceComps != want.Stats.DistanceComps {
+					t.Errorf("%s r=%g opts=%+v: dist_comps %d, want %d (serial)",
+						name, r, opts, got.Stats.DistanceComps, want.Stats.DistanceComps)
+				}
+				if got.Stats.Candidates != want.Stats.Candidates || got.Stats.Verified != want.Stats.Verified {
+					t.Errorf("%s r=%g opts=%+v: candidates/verified %d/%d, want %d/%d",
+						name, r, opts, got.Stats.Candidates, got.Stats.Verified,
+						want.Stats.Candidates, want.Stats.Verified)
+				}
+			}
+		}
+	}
+}
+
+// TestKnobParityLabels extends the invariance contract to the §III-D
+// label path: the label store COLLECTED by a parallel run must equal
+// the serially collected one (the workers' share-empty vectors AND
+// together to the serial full-mask condition), and a query CONSUMING
+// those labels must report serial-identical counters at every worker
+// count.
+func TestKnobParityLabels(t *testing.T) {
+	ds := testDatasets(t)["bird"]
+	const r, k = 10, 3
+
+	serialStore := labelstore.NewStore()
+	serialEng, err := NewEngine(ds, Options{Workers: 1, Labels: serialStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serialEng.RunTopK(r, k); err != nil { // collect
+		t.Fatal(err)
+	}
+	wantLabels, ok := serialStore.Get(int(10))
+	if !ok {
+		t.Fatal("serial run collected no labels")
+	}
+	want, err := serialEng.RunTopK(r, k) // consume
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 7} {
+		store := labelstore.NewStore()
+		eng, err := NewEngine(ds, Options{Workers: workers, Labels: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunTopK(r, k); err != nil {
+			t.Fatal(err)
+		}
+		gotLabels, ok := store.Get(int(10))
+		if !ok {
+			t.Fatalf("workers=%d collected no labels", workers)
+		}
+		if !reflect.DeepEqual(gotLabels.PerObject, wantLabels.PerObject) {
+			gm, gu, gv := gotLabels.Counts()
+			wm, wu, wv := wantLabels.Counts()
+			t.Fatalf("workers=%d: collected labels differ from serial (cleared mapped/upper/verify %d/%d/%d, want %d/%d/%d)",
+				workers, gm, gu, gv, wm, wu, wv)
+		}
+		got, err := eng.RunTopK(r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.TopK, want.TopK) {
+			t.Errorf("workers=%d labeled run: topk %v, want %v", workers, got.TopK, want.TopK)
+		}
+		if got.Stats.DistanceComps != want.Stats.DistanceComps {
+			t.Errorf("workers=%d labeled run: dist_comps %d, want %d",
+				workers, got.Stats.DistanceComps, want.Stats.DistanceComps)
+		}
+	}
+}

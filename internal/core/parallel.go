@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"mio/internal/bitmap"
 	"mio/internal/core/labelstore"
 	"mio/internal/grid"
@@ -122,6 +124,10 @@ func (q *query) parallelUpperBounding() {
 		for w := range locals {
 			locals[w] = bitmap.NewScratch(q.n)
 		}
+		var replay *bitmap.Scratch
+		if q.newLabels != nil {
+			replay = bitmap.NewScratch(q.n)
+		}
 		costs := make([]int, 0, 64)
 		active := make([]int, 0, 64)
 		for i := 0; i < q.n; i++ {
@@ -149,7 +155,10 @@ func (q *query) parallelUpperBounding() {
 			parallel.Run(t, func(w int) {
 				locals[w].Reset()
 				for _, ai := range buckets[w] {
-					q.orGroupAdj(i, q.idx.groups[i][active[ai]], locals[w], &ctrs[w])
+					// label2=false: each worker's bucket order differs
+					// from the serial group order, so the prefix-dependent
+					// Labeling-2 decision is replayed serially below.
+					q.orGroupAdj(i, q.idx.groups[i][active[ai]], locals[w], &ctrs[w], false)
 				}
 			})
 			for w := 1; w < t; w++ {
@@ -160,42 +169,69 @@ func (q *query) parallelUpperBounding() {
 				tau = 0
 			}
 			q.tauUpp[i] = int32(tau)
+			if replay != nil {
+				q.labelUpperReplay(i, replay)
+			}
 		}
 	}
 	q.addCounters(ctrs)
 }
 
 // parallelExactScore implements PARALLEL-VERIFICATION's per-candidate
-// work: the points of each group P_{i,K} are split uniformly across
-// cores (round-robin within the group, as §IV prescribes), each worker
-// probes with a local b(o_i) and mask, and the local bitsets are merged
-// at the end.
+// work with an object partition: worker w owns the candidate objects
+// {j : j mod t == w}. Every worker walks the full label-filtered point
+// sequence in index order — the same order the serial scan uses — but
+// keeps its per-cell candidate mask intersected with its share, so it
+// probes only the objects it owns.
+//
+// The partition is what makes tuning answer-invariant (DESIGN.md §16):
+// whether object j is probed at point p depends only on j's own
+// found-state (a pure function of the point order, the grid, r, and
+// the seed bitset), never on what other workers have found. Summing
+// the per-worker counters therefore reproduces the serial
+// DistanceComps bit for bit at every worker count — unlike a
+// point-split, where each worker's private b(o_i) re-probes objects
+// the others already resolved and the count grows with t.
 func (q *query) parallelExactScore(i int) int {
 	t := q.e.opts.workers()
 	if q.vBOi == nil {
 		q.vBOi = make([]*bitmap.Scratch, t)
 		q.vMask = make([]*bitmap.Scratch, t)
+		q.vShare = make([]*bitmap.Scratch, t)
 		for w := 0; w < t; w++ {
 			q.vBOi[w] = bitmap.NewScratch(q.n)
 			q.vMask[w] = bitmap.NewScratch(q.n)
+			q.vShare[w] = bitmap.NewScratch(q.n)
+			for j := w; j < q.n; j += t {
+				q.vShare[w].Set(j)
+			}
 		}
 	}
 	obj := &q.e.ds.Objects[i]
 
-	// Distribute each group's points round-robin across workers so
-	// that every core sees a uniform mixture of cells.
-	assign := make([][]int32, t)
-	for _, g := range q.idx.groups[i] {
-		w := 0
-		for _, pt := range g.pts {
-			if q.labels != nil {
-				l := q.labels.Get(i, int(pt))
-				if l&labelstore.BitMapped == 0 || l&labelstore.BitVerify == 0 {
-					continue
-				}
+	// Label-filtered point sequence, shared by every worker. Walking
+	// points in index order keeps each worker's same-cell mask reuse
+	// (scoreState) aligned with the serial scan.
+	pts := q.vPts[:0]
+	for j := range obj.Pts {
+		if q.labels != nil {
+			l := q.labels.Get(i, j)
+			if l&labelstore.BitMapped == 0 || l&labelstore.BitVerify == 0 {
+				continue
 			}
-			assign[w%t] = append(assign[w%t], pt)
-			w++
+		}
+		pts = append(pts, int32(j))
+	}
+	q.vPts = pts
+
+	// When collecting labels, each worker records per-point share-empty
+	// bits instead of clearing label bits directly (see scoreState).
+	var empty [][]uint64
+	if q.newLabels != nil {
+		empty = make([][]uint64, t)
+		nw := (len(obj.Pts) + 63) / 64
+		for w := range empty {
+			empty[w] = make([]uint64, nw)
 		}
 	}
 
@@ -209,10 +245,13 @@ func (q *query) parallelExactScore(i int) int {
 			bOi.OrCompressed(q.lbBits[i])
 		}
 		var neigh [27]grid.Key
-		st := scoreState{}
-		for pi, pt := range assign[w] {
+		st := scoreState{share: q.vShare[w]}
+		if empty != nil {
+			st.emptyAt = empty[w]
+		}
+		for pi, pt := range pts {
 			// Same mid-object cancellation polling as exactScore; each
-			// worker polls its own slice so abort stays prompt on every
+			// worker polls independently so abort stays prompt on every
 			// core. ctx.Done() is safe to poll concurrently.
 			if pi&255 == 255 && q.cancelled() {
 				break
@@ -222,6 +261,25 @@ func (q *query) parallelExactScore(i int) int {
 	})
 	for w := 1; w < t; w++ {
 		q.vBOi[0].OrScratch(q.vBOi[w])
+	}
+	if empty != nil {
+		// A point is skippable for future ⌈r⌉ runs iff every worker's
+		// share of its mask emptied — the conjunction is exactly the
+		// serial full-mask condition, so collected label stores are
+		// identical at every worker count. A worker that broke early on
+		// cancellation leaves its unprocessed bits zero, which can only
+		// suppress clears, never fabricate one.
+		for wi := range empty[0] {
+			m := empty[0][wi]
+			for w := 1; w < t; w++ {
+				m &= empty[w][wi]
+			}
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				q.newLabels.ClearBit(i, wi<<6+b, labelstore.BitVerify)
+				m &= m - 1
+			}
+		}
 	}
 	q.addCounters(ctrs)
 	return q.vBOi[0].Cardinality() - 1

@@ -109,6 +109,19 @@ func (q *query) exactScore(i int, bOi, mask *bitmap.Scratch, neigh []grid.Key, c
 type scoreState struct {
 	lastKey   grid.Key
 	maskValid bool
+	// share, when non-nil, restricts the candidate mask to the objects
+	// this worker owns (object-partitioned parallel verification,
+	// parallelExactScore). The restriction composes with the mask-reuse
+	// invariant: probing only ever clears bits, so a share-restricted
+	// mask stays exact across a same-cell run of points.
+	share *bitmap.Scratch
+	// emptyAt, when non-nil, diverts the Labeling-3 empty-mask signal:
+	// instead of clearing the label bit directly (which would be wrong —
+	// a worker's share-mask can empty while other workers still have
+	// survivors), bit j records that *this worker's share* of point j's
+	// mask was empty. The workers' vectors are ANDed after the merge;
+	// the conjunction is exactly the serial full-mask-empty condition.
+	emptyAt []uint64
 }
 
 // scorePoint processes one point of o_i: builds the candidate mask
@@ -139,10 +152,15 @@ func (q *query) scorePoint(i, j int, p geom.Point, bOi, mask *bitmap.Scratch, ne
 			ctr.adjComputed++
 		}
 		mask.AndNotFromCompressed(adj, bOi)
+		if st.share != nil {
+			mask.AndScratch(st.share)
+		}
 		st.lastKey, st.maskValid = k, true
 	}
 	if mask.Cardinality() == 0 {
-		if q.newLabels != nil {
+		if st.emptyAt != nil {
+			st.emptyAt[j>>6] |= 1 << uint(j&63)
+		} else if q.newLabels != nil {
 			// Labeling-3 (Observation 3): this point's mask is empty;
 			// future verifications with the same ⌈r⌉ can skip it.
 			q.newLabels.ClearBit(i, j, labelstore.BitVerify)

@@ -1,0 +1,131 @@
+package data_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mio/internal/data"
+	"mio/internal/tune"
+)
+
+// These tests pin each adversarial generator to its advertised shape
+// via the profiler: the tuner's rules key off exactly these statistics,
+// so a generator drifting out of its regime would silently hollow out
+// the tune-gate. All generators are deterministic under their seeds —
+// asserted by profiling two independent generations.
+
+func profileTwice(t *testing.T, gen func() *data.Dataset) *tune.Profile {
+	t.Helper()
+	a, b := tune.Profiler(gen()), tune.Profiler(gen())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generator is not deterministic under its fixed seed")
+	}
+	return a
+}
+
+func TestOneCellShape(t *testing.T) {
+	cfg := data.DefaultOneCell()
+	p := profileTwice(t, func() *data.Dataset { return data.GenOneCell(cfg) })
+	if p.SpanX > cfg.Side || p.SpanY > cfg.Side || p.SpanZ > cfg.Side {
+		t.Fatalf("spans %g/%g/%g exceed the advertised cube side %g", p.SpanX, p.SpanY, p.SpanZ, cfg.Side)
+	}
+	if p.EffectiveDims != 3 {
+		t.Fatalf("dims = %d, want 3", p.EffectiveDims)
+	}
+	// Everything within one query cell at any bench radius: expected
+	// per-cell occupancy must dwarf the freeze-hot threshold.
+	if got := p.ExpectedCellPoints(4); got < 1000 {
+		t.Fatalf("expected cell points at r=4 = %g, want ≫ freeze-hot threshold", got)
+	}
+	if !ruleFired(t, p, "freeze-hot-cells") {
+		t.Fatalf("one-cell profile must fire freeze-hot-cells")
+	}
+}
+
+func TestUniformSparseShape(t *testing.T) {
+	cfg := data.DefaultUniformSparse()
+	p := profileTwice(t, func() *data.Dataset { return data.GenUniformSparse(cfg) })
+	if p.EffectiveDims != 2 {
+		t.Fatalf("dims = %d, want 2 (planar)", p.EffectiveDims)
+	}
+	// Uniform: the top decile of cells holds barely more than 10% of
+	// the mass; no single cell concentrates anything.
+	if p.TopDecileShare > 0.25 {
+		t.Fatalf("top decile share = %g, want ≤ 0.25 (uniform)", p.TopDecileShare)
+	}
+	if p.MaxCellShare > 0.01 {
+		t.Fatalf("max cell share = %g, want tiny", p.MaxCellShare)
+	}
+	// Sparse: well under one point per query cell at the max bench r.
+	if got := p.ExpectedCellPoints(10); got >= 16 {
+		t.Fatalf("expected cell points at r=10 = %g, want sparse (< 16)", got)
+	}
+	if !ruleFired(t, p, "freeze-late-sparse") || !ruleFired(t, p, "planar-2d") {
+		t.Fatalf("sparse profile must fire freeze-late-sparse and planar-2d")
+	}
+}
+
+func TestPowerLawSizesShape(t *testing.T) {
+	cfg := data.DefaultPowerLawSizes()
+	p := profileTwice(t, func() *data.Dataset { return data.GenPowerLawSizes(cfg) })
+	if p.SizeSkew() < 8 {
+		t.Fatalf("size skew P99/P50 = %g, want ≥ 8 (power-law sizes)", p.SizeSkew())
+	}
+	if p.SizeMax < 50*p.SizeP50 {
+		t.Fatalf("size max/p50 = %d/%d, want ≥ 50× spread", p.SizeMax, p.SizeP50)
+	}
+	if p.SizeP10 > 2*cfg.MinM {
+		t.Fatalf("size p10 = %d, want near MinM=%d (mass at the small end)", p.SizeP10, cfg.MinM)
+	}
+	if !ruleFired(t, p, "ub-cost-model") {
+		t.Fatalf("size-skewed profile must fire ub-cost-model")
+	}
+}
+
+func TestHotspotCommuteShape(t *testing.T) {
+	cfg := data.DefaultHotspotCommute()
+	p := profileTwice(t, func() *data.Dataset { return data.GenHotspotCommute(cfg) })
+	if p.EffectiveDims != 2 {
+		t.Fatalf("dims = %d, want 2 (planar)", p.EffectiveDims)
+	}
+	// Hotspots concentrate most of the mass in few cells.
+	if p.TopDecileShare < 0.5 {
+		t.Fatalf("top decile share = %g, want ≥ 0.5 (hotspot skew)", p.TopDecileShare)
+	}
+	if !ruleFired(t, p, "planar-2d") || !ruleFired(t, p, "ub-cost-model") {
+		t.Fatalf("commute profile must fire planar-2d and ub-cost-model")
+	}
+}
+
+func TestAdversarialMapScalesAndValidates(t *testing.T) {
+	sets := data.Adversarial(0.15)
+	want := []string{"OneCell", "Sparse", "PowerSize", "Commute"}
+	for _, name := range want {
+		ds, ok := sets[name]
+		if !ok {
+			t.Fatalf("missing adversarial dataset %q", name)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Fatalf("dataset name %q, want %q", ds.Name, name)
+		}
+	}
+	full := data.Adversarial(1.0)
+	if full["Sparse"].N() <= sets["Sparse"].N() {
+		t.Fatal("scale factor does not scale object counts")
+	}
+}
+
+func ruleFired(t *testing.T, p *tune.Profile, rule string) bool {
+	t.Helper()
+	tn := tune.Select(p, tune.Env{MaxProcs: 4})
+	for _, r := range tn.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	t.Logf("rules fired: %v", tn.Rules)
+	return false
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mio/internal/core"
+	"mio/internal/data"
+)
+
+// TestAutoTuneAnswerParity: an auto-tuned server must serve the
+// identical answer as a hand-configured one, never spending more
+// distance computations, and must expose its profile + knob choice
+// under /metrics.
+func TestAutoTuneAnswerParity(t *testing.T) {
+	ds := data.Adversarial(0.1)["Sparse"]
+	hand, err := New(ds, core.Options{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := New(ds, core.Options{}, Config{AutoTune: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hr, ar queryResponse
+	get(t, hand.Handler(), "/v1/query?r=8&k=3", &hr)
+	get(t, auto.Handler(), "/v1/query?r=8&k=3", &ar)
+	if !reflect.DeepEqual(ar.Result.TopK, hr.Result.TopK) {
+		t.Fatalf("auto-tuned topk %v, want %v", ar.Result.TopK, hr.Result.TopK)
+	}
+	if ar.Result.Stats.DistanceComps > hr.Result.Stats.DistanceComps {
+		t.Fatalf("auto-tuned dist_comps %d > hand %d",
+			ar.Result.Stats.DistanceComps, hr.Result.Stats.DistanceComps)
+	}
+
+	var m MetricsSnapshot
+	get(t, auto.Handler(), "/metrics", &m)
+	if m.Tuning == nil {
+		t.Fatal("autotuned server reports no tuning block in /metrics")
+	}
+	// Sparse is planar and sparse: the tuner must have gone 2-D with a
+	// raised freeze threshold (pinned in internal/tune/parity_test.go).
+	if m.Tuning.Tuning.Dims != 2 || m.Tuning.Tuning.FreezeMinPoints != 128 {
+		t.Fatalf("unexpected tuning for Sparse: %+v", m.Tuning.Tuning)
+	}
+	if m.Tuning.Profile == nil || m.Tuning.Profile.Points != ds.TotalPoints() {
+		t.Fatalf("tuning profile missing or stale: %+v", m.Tuning.Profile)
+	}
+	if len(m.Tuning.Tuning.Rules) == 0 {
+		t.Fatal("tuning block carries no rule trail")
+	}
+
+	var hm MetricsSnapshot
+	get(t, hand.Handler(), "/metrics", &hm)
+	if hm.Tuning != nil {
+		t.Fatal("hand-configured server unexpectedly reports tuning")
+	}
+}
+
+// TestAutoTuneRetunesOnSwap: POST /v1/dataset must re-profile the
+// incoming dataset and install fresh knobs before serving it.
+func TestAutoTuneRetunesOnSwap(t *testing.T) {
+	adv := data.Adversarial(0.1)
+	s, err := New(adv["Sparse"], core.Options{}, Config{AutoTune: true, AllowSwap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	var m MetricsSnapshot
+	get(t, h, "/metrics", &m)
+	if m.Tuning == nil || m.Tuning.Tuning.Dims != 2 {
+		t.Fatalf("pre-swap tuning not the Sparse assignment: %+v", m.Tuning)
+	}
+
+	path := filepath.Join(t.TempDir(), "onecell.bin")
+	if err := data.SaveFile(path, adv["OneCell"]); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/dataset",
+		strings.NewReader(fmt.Sprintf(`{"path":%q}`, path))))
+	if rec.Code != 200 {
+		t.Fatalf("swap failed: %d %s", rec.Code, rec.Body.String())
+	}
+
+	get(t, h, "/metrics", &m)
+	// OneCell is volumetric with everything in one query cell: 3-D and
+	// the eager freeze threshold.
+	if m.Tuning == nil || m.Tuning.Tuning.Dims != 3 || m.Tuning.Tuning.FreezeMinPoints != 8 {
+		t.Fatalf("swap did not re-tune: %+v", m.Tuning)
+	}
+	if m.Tuning.Profile.Points != adv["OneCell"].TotalPoints() {
+		t.Fatalf("post-swap profile is stale: %+v", m.Tuning.Profile)
+	}
+
+	// Answers over the swapped dataset still match a hand engine.
+	hand, err := core.NewEngine(adv["OneCell"], core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hand.RunTopK(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr queryResponse
+	get(t, h, "/v1/query?r=4&k=2", &qr)
+	if !reflect.DeepEqual(qr.Result.TopK, want.TopK) {
+		t.Fatalf("post-swap topk %v, want %v", qr.Result.TopK, want.TopK)
+	}
+}

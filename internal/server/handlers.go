@@ -15,6 +15,7 @@ import (
 	"mio/internal/fault"
 	"mio/internal/server/metrics"
 	"mio/internal/shard"
+	"mio/internal/tune"
 )
 
 // Wire DTOs. Query results reuse the json-tagged core types; the
@@ -143,6 +144,14 @@ type ShardStats struct {
 	PerShard       []shard.Health      `json:"per_shard"`
 }
 
+// TuningStats is the auto-tuning section of MetricsSnapshot: the
+// measured profile of the dataset currently served and the knob
+// assignment selected from it (with the rule trail that produced it).
+type TuningStats struct {
+	Profile *tune.Profile `json:"profile"`
+	Tuning  tune.Tuning   `json:"tuning"`
+}
+
 // MetricsSnapshot is the /metrics document. cmd/mioload decodes it to
 // report server-side coalescing and cache effectiveness.
 type MetricsSnapshot struct {
@@ -167,6 +176,7 @@ type MetricsSnapshot struct {
 	FaultsFired       map[string]uint64           `json:"faults_fired,omitempty"`
 	Batch             *batch.Stats                `json:"batch,omitempty"`
 	Shards            *ShardStats                 `json:"shards,omitempty"`
+	Tuning            *TuningStats                `json:"tuning,omitempty"`
 	Cache             CacheStats                  `json:"cache"`
 	HTTPLatency       map[string]metrics.Snapshot `json:"http_latency"`
 	PhaseLatency      map[string]metrics.Snapshot `json:"phase_latency"`
@@ -594,6 +604,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		FaultsFired: s.cfg.Faults.Counts(),
 		Batch:       s.batchStats(withBuckets),
 		Shards:      s.shardStats(withBuckets),
+		Tuning:      s.tuningStats(),
 		Cache: CacheStats{
 			Enabled: !s.cfg.DisableCache, Hits: hits, Misses: misses,
 			Evictions: evictions, Size: s.cache.Len(), Capacity: s.cache.Cap(),
@@ -632,6 +643,16 @@ func (s *Server) shardStats(withBuckets bool) *ShardStats {
 		PrunedPerQuery: m.Pruned.Snapshot(withBuckets),
 		PerShard:       co.Health(),
 	}
+}
+
+// tuningStats reports the current autotune state for /metrics, or nil
+// when AutoTune is off.
+func (s *Server) tuningStats() *TuningStats {
+	ts := s.tuneState.Load()
+	if ts == nil {
+		return nil
+	}
+	return &TuningStats{Profile: ts.profile, Tuning: ts.tuning}
 }
 
 // batchStats snapshots the batch engine for /metrics, or nil when

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"mio/internal/server/flight"
 	"mio/internal/server/metrics"
 	"mio/internal/shard"
+	"mio/internal/tune"
 )
 
 // Config tunes the serving machinery. The zero value selects sensible
@@ -142,6 +144,18 @@ type Config struct {
 	// 0 selects 3 failures / 5s.
 	ShardBreakThreshold int
 	ShardBreakCooldown  time.Duration
+	// AutoTune profiles the dataset at construction (and again on every
+	// swap) and lets internal/tune pick the engine knobs — worker count,
+	// grid dimensionality, parallel partitioning, freeze threshold —
+	// plus, when their Config fields are unset, MaxInFlight and the
+	// batch gather window. Tuning is answer-invariant: queries return
+	// the identical results under any knob assignment (DESIGN.md §16).
+	// Pool size and batch knobs are fixed at construction; a swap
+	// re-tunes only the per-engine knobs.
+	AutoTune bool
+	// Logf, when non-nil, receives the server's operational log lines
+	// (today: the autotune profile and knob selection). Nil discards.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +181,12 @@ func (c Config) withDefaults() Config {
 		c.SwapBreakCooldown = 5 * time.Second
 	}
 	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
 }
 
 // errOverload marks an admission-control rejection (HTTP 429).
@@ -203,6 +223,11 @@ type Server struct {
 	// go through withEngine, so admission, panic quarantine and swap
 	// drain apply to batched work exactly as to solo queries.
 	batch *batch.Engine
+
+	// tuneState, when AutoTune is on, is the profile and knob
+	// assignment currently serving; swapped atomically with the dataset
+	// and reported under /metrics "tuning".
+	tuneState atomic.Pointer[tuningState]
 
 	// coord, when non-nil, is the sharded scatter–gather coordinator
 	// /v1/query routes through (Config.Shards). It owns its own
@@ -273,13 +298,58 @@ type engineTemplate struct {
 	opts core.Options
 }
 
+// tuningState pairs a dataset profile with the knob assignment selected
+// from it. Immutable once published.
+type tuningState struct {
+	profile *tune.Profile
+	tuning  tune.Tuning
+}
+
+// tuneFor profiles ds and selects its knob assignment for this host.
+func tuneFor(ds *data.Dataset, cfg Config) *tuningState {
+	prof := tune.Profiler(ds)
+	tn := tune.Select(prof, tune.Env{MaxProcs: runtime.GOMAXPROCS(0)})
+	cfg.logf("autotune: dataset %q: %s", ds.Name, prof.String())
+	cfg.logf("autotune: selected %s", tn.String())
+	return &tuningState{profile: prof, tuning: tn}
+}
+
+// applyTuned overwrites the tuner-owned engine knobs in opts. The
+// caller keeps everything the tuner has no opinion on — Labels, Faults,
+// and an explicit freeze disable.
+func applyTuned(opts core.Options, tn tune.Tuning) core.Options {
+	opts.Workers = tn.Opts.Workers
+	opts.Dims = tn.Opts.Dims
+	opts.LB = tn.Opts.LB
+	opts.UB = tn.Opts.UB
+	if !opts.DisableFreeze {
+		opts.FreezeMinPoints = tn.Opts.FreezeMinPoints
+	}
+	return opts
+}
+
 // New builds a server over ds with a pool of cfg.MaxInFlight engines
 // configured from engOpts. When engOpts.Labels is non-nil the same
 // store is shared across the pool.
 func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
+	poolUnset := cfg.MaxInFlight < 1
 	cfg = cfg.withDefaults()
 	if cfg.Shards > 0 && cfg.BatchExecution {
 		return nil, fmt.Errorf("server: Shards and BatchExecution are mutually exclusive")
+	}
+	var ts *tuningState
+	if cfg.AutoTune {
+		ts = tuneFor(ds, cfg)
+		engOpts = applyTuned(engOpts, ts.tuning)
+		if poolUnset {
+			cfg.MaxInFlight = ts.tuning.PoolSize
+		}
+		if cfg.BatchWindow == 0 {
+			cfg.BatchWindow = ts.tuning.BatchWindow
+		}
+		if cfg.BatchMaxSize == 0 {
+			cfg.BatchMaxSize = ts.tuning.BatchMaxSize
+		}
 	}
 	if engOpts.Faults == nil {
 		engOpts.Faults = cfg.Faults
@@ -293,6 +363,9 @@ func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 		engines = append(engines, e)
 	}
 	s := newFromPool(ds, engOpts, engines, cfg)
+	if ts != nil {
+		s.tuneState.Store(ts)
+	}
 	if cfg.Shards > 0 {
 		co, err := shard.New(ds, engOpts, s.shardConfig())
 		if err != nil {
@@ -397,6 +470,10 @@ func (s *Server) runGroup(specs []core.GroupSpec) ([]core.GroupOutcome, core.Gro
 // Dataset returns the currently served dataset.
 func (s *Server) Dataset() *data.Dataset { return s.ds.Load() }
 
+// MaxInFlight returns the engine-pool size actually in effect (it may
+// have been chosen by the auto-tuner rather than Config.MaxInFlight).
+func (s *Server) MaxInFlight() int { return cap(s.slots) }
+
 // Epoch returns the dataset generation; it increments on every swap.
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 
@@ -415,6 +492,14 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 		return fmt.Errorf("server: swap rejected: %w", err)
 	}
 	opts := s.opts
+	// Re-tune for the incoming dataset before anything is built from it.
+	// Only the per-engine knobs move: the pool size and the batch
+	// engine's gather window were fixed at construction.
+	var ts *tuningState
+	if s.cfg.AutoTune {
+		ts = tuneFor(ds, s.cfg)
+		opts = applyTuned(opts, ts.tuning)
+	}
 	// Durability first: the new dataset must be committed as a
 	// generation before anything serves it, so a crash mid-swap
 	// recovers to either the old or the complete new dataset — never to
@@ -484,6 +569,9 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 	s.opts = opts
 	s.ds.Store(ds)
 	s.tmpl.Store(&engineTemplate{ds: ds, opts: opts})
+	if ts != nil {
+		s.tuneState.Store(ts)
+	}
 	if coord != nil {
 		s.coord.Store(coord)
 	}

@@ -1,0 +1,112 @@
+package tune
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mio/internal/core"
+	"mio/internal/data"
+)
+
+// TestTuningAnswerInvariance is the auto-tuner's safety contract over
+// real datasets (standard + adversarial, small scale):
+//
+//  1. The tuned engine returns the identical top-k as the hand-default
+//     engine — tuning can never change an answer.
+//  2. Every execution knob (Workers, LB, UB, FreezeMinPoints) is
+//     bitwise dist_comps-invariant: at fixed dimensionality the tuned
+//     config reports exactly the hand-default counter.
+//  3. The one declarative knob, Dims, is applied only when the
+//     profiler proves exact planarity, and may only *remove* distance
+//     computations (tighter r/√2 lower bounds) — never add any, so
+//     the deterministic 1.0× bench gate keeps holding.
+func TestTuningAnswerInvariance(t *testing.T) {
+	sets := data.Standard(0.1)
+	for name, ds := range data.Adversarial(0.1) {
+		sets[name] = ds
+	}
+	for name, ds := range sets {
+		prof := Profiler(ds)
+		for _, procs := range []int{1, 4} {
+			tn := Select(prof, Env{MaxProcs: procs, ExpectedRs: []float64{6, 8}})
+			for _, r := range []float64{6, 8} {
+				hand, err := core.NewEngine(ds, core.Options{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := hand.RunTopK(r, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tuned, err := core.NewEngine(ds, tn.Opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tuned.RunTopK(r, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.TopK, want.TopK) {
+					t.Errorf("%s procs=%d r=%g: tuned topk %v, want %v (tuning %s)",
+						name, procs, r, got.TopK, want.TopK, tn.String())
+				}
+				if tn.Opts.Dims != 2 {
+					if got.Stats.DistanceComps != want.Stats.DistanceComps {
+						t.Errorf("%s procs=%d r=%g: tuned dist_comps %d, want %d bitwise (tuning %s)",
+							name, procs, r, got.Stats.DistanceComps, want.Stats.DistanceComps, tn.String())
+					}
+				} else if got.Stats.DistanceComps > want.Stats.DistanceComps {
+					t.Errorf("%s procs=%d r=%g: planar tuning INCREASED dist_comps %d > %d (tuning %s)",
+						name, procs, r, got.Stats.DistanceComps, want.Stats.DistanceComps, tn.String())
+				}
+			}
+		}
+	}
+}
+
+// TestSelectOnRealProfilesIsStable pins the tuner's choices on the
+// shipped datasets: a threshold drift that flipped a decision on a
+// known workload should fail loudly here, not surface as a silent
+// perf change in the tune-gate.
+func TestSelectOnRealProfilesIsStable(t *testing.T) {
+	env := Env{MaxProcs: 4}
+	adv := data.Adversarial(0.15)
+
+	sparse := Select(Profiler(adv["Sparse"]), env)
+	if sparse.Opts.Dims != 2 || sparse.Opts.FreezeMinPoints != 128 {
+		t.Errorf("Sparse tuning drifted: %s", sparse.String())
+	}
+	onecell := Select(Profiler(adv["OneCell"]), env)
+	if onecell.Opts.FreezeMinPoints != 8 {
+		t.Errorf("OneCell tuning drifted: %s", onecell.String())
+	}
+	commute := Select(Profiler(adv["Commute"]), env)
+	if commute.Opts.Dims != 2 {
+		t.Errorf("Commute tuning drifted: %s", commute.String())
+	}
+	power := Select(Profiler(adv["PowerSize"]), env)
+	if power.Opts.UB != core.UBGreedyP {
+		t.Errorf("PowerSize tuning drifted: %s", power.String())
+	}
+
+	std := data.Standard(0.15)
+	bird := Select(Profiler(std["Bird"]), env)
+	if bird.Opts.Dims != 2 {
+		t.Errorf("Bird is planar and must tune to 2-D: %s", bird.String())
+	}
+	neuron := Select(Profiler(std["Neuron"]), env)
+	if neuron.Opts.Dims != 3 {
+		t.Errorf("Neuron is volumetric and must stay 3-D: %s", neuron.String())
+	}
+}
+
+// TestSelectUsesRuntimeProcs is a smoke check that the conventional
+// call site (Env{MaxProcs: runtime.GOMAXPROCS(0)}) yields a legal
+// worker count for the host.
+func TestSelectUsesRuntimeProcs(t *testing.T) {
+	tn := Select(baseProfile(), Env{MaxProcs: runtime.GOMAXPROCS(0)})
+	if tn.Opts.Workers < 1 || tn.Opts.Workers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers %d outside [1, %d]", tn.Opts.Workers, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,0 +1,216 @@
+// Package tune is the workload-aware auto-tuner: a build-time dataset
+// profiler (Profile) plus a heuristic knob selector (Select) that maps
+// the measured spatial features — skew, density, extent, object-size
+// distribution, effective dimensionality — to a full engine/server
+// configuration. Every knob the selector touches is answer-invariant
+// by construction (DESIGN.md §16): whichever Tuning it picks, queries
+// return the identical top-k and the identical dist_comps counter, so
+// tuning can never trade correctness or the deterministic bench gate
+// for speed.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mio/internal/data"
+)
+
+// probeGridSide is the per-axis resolution of the occupancy probe
+// grid. The grid is laid over the dataset's bounding box, so the
+// histogram measures *relative* spatial skew independent of units;
+// 32 per axis keeps the worst case at 32³ cells — a few hundred KiB of
+// counters — while still resolving hotspots a query grid would see.
+const probeGridSide = 32
+
+// histBuckets is the number of log2 buckets in the occupancy
+// histogram: bucket b counts probe cells holding [2^b, 2^(b+1))
+// points, with the last bucket open-ended.
+const histBuckets = 16
+
+// Profile is the serializable statistics record the profiler computes
+// in one pass (plus sorts) over a loaded dataset. It is embedded in
+// miobench snapshots so every benchmark result pins the dataset shape
+// it ran against, and reported by miosrv /metrics under -autotune.
+type Profile struct {
+	Dataset string `json:"dataset,omitempty"`
+	Objects int    `json:"objects"`
+	Points  int    `json:"points"`
+
+	// Object-size (point-count) distribution quantiles.
+	AvgPoints float64 `json:"avg_points"`
+	SizeP10   int     `json:"size_p10"`
+	SizeP50   int     `json:"size_p50"`
+	SizeP90   int     `json:"size_p90"`
+	SizeP99   int     `json:"size_p99"`
+	SizeMax   int     `json:"size_max"`
+
+	// Spatial extent and density. Density is points per unit of
+	// occupied volume (area when planar): extents of zero span —
+	// degenerate axes — are treated as 1 so the quotient stays finite.
+	SpanX   float64 `json:"span_x"`
+	SpanY   float64 `json:"span_y"`
+	SpanZ   float64 `json:"span_z"`
+	Density float64 `json:"density"`
+
+	// EffectiveDims is 2 iff every point carries the identical Z
+	// (exactly planar data) and 3 otherwise. The 2-D claim must be
+	// exact: it widens the small-grid cells from r/√3 to r/√2, which is
+	// only sound when same-cell point pairs have no Z separation.
+	EffectiveDims int `json:"effective_dims"`
+
+	// Cell-occupancy statistics over the probe grid. OccupancyHist[b]
+	// counts occupied cells holding [2^b, 2^(b+1)) points.
+	OccupiedCells  int     `json:"occupied_cells"`
+	AvgCellPoints  float64 `json:"avg_cell_points"`
+	OccupancyHist  []int   `json:"occupancy_hist"`
+	TopDecileShare float64 `json:"top_decile_share"` // skew: point share of the top-10% fullest cells
+	MaxCellShare   float64 `json:"max_cell_share"`   // point share of the single fullest cell
+}
+
+// SizeSkew returns the P99/P50 object-size ratio, the selector's
+// size-skew signal (≥ 1; 1 means uniform sizes).
+func (p *Profile) SizeSkew() float64 {
+	if p.SizeP50 < 1 {
+		return 1
+	}
+	return float64(p.SizeP99) / float64(p.SizeP50)
+}
+
+// String renders the one-line summary used by miosrv's -autotune log.
+func (p *Profile) String() string {
+	return fmt.Sprintf("objects=%d points=%d dims=%d avg_pts=%.1f size_p50/p99=%d/%d span=%.4gx%.4gx%.4g density=%.4g cells=%d top_decile=%.2f max_cell=%.3f",
+		p.Objects, p.Points, p.EffectiveDims, p.AvgPoints,
+		p.SizeP50, p.SizeP99, p.SpanX, p.SpanY, p.SpanZ, p.Density,
+		p.OccupiedCells, p.TopDecileShare, p.MaxCellShare)
+}
+
+// Profiler computes the dataset Profile. The cost is two linear scans
+// (bounding box, then probe-cell counts) plus an O(n log n) sort of
+// the per-object sizes and an O(c log c) sort of the occupied-cell
+// counts — cheap enough to run at every dataset load or swap.
+func Profiler(ds *data.Dataset) *Profile {
+	p := &Profile{
+		Dataset:       ds.Name,
+		Objects:       ds.N(),
+		EffectiveDims: 3,
+		OccupancyHist: make([]int, histBuckets),
+	}
+	if p.Objects == 0 {
+		p.EffectiveDims = 2
+		return p
+	}
+
+	// Pass 1: bounding box, sizes, planarity.
+	box := ds.Bounds()
+	sizes := make([]int, 0, p.Objects)
+	planar := true
+	z0 := ds.Objects[0].Pts[0].Z
+	for i := range ds.Objects {
+		pts := ds.Objects[i].Pts
+		sizes = append(sizes, len(pts))
+		p.Points += len(pts)
+		if planar {
+			for _, pt := range pts {
+				if pt.Z != z0 {
+					planar = false
+					break
+				}
+			}
+		}
+	}
+	if planar {
+		p.EffectiveDims = 2
+	}
+	p.AvgPoints = float64(p.Points) / float64(p.Objects)
+	sort.Ints(sizes)
+	q := func(f float64) int { return sizes[minInt(int(f*float64(len(sizes))), len(sizes)-1)] }
+	p.SizeP10, p.SizeP50, p.SizeP90, p.SizeP99 = q(0.10), q(0.50), q(0.90), q(0.99)
+	p.SizeMax = sizes[len(sizes)-1]
+
+	p.SpanX = box.Max.X - box.Min.X
+	p.SpanY = box.Max.Y - box.Min.Y
+	p.SpanZ = box.Max.Z - box.Min.Z
+	vol := 1.0
+	for _, s := range []float64{p.SpanX, p.SpanY, p.SpanZ} {
+		if s > 0 {
+			vol *= s
+		}
+	}
+	p.Density = float64(p.Points) / vol
+
+	// Pass 2: occupancy counts over the probe grid. Degenerate axes
+	// collapse to a single stripe of cells.
+	stepX := p.SpanX / probeGridSide
+	stepY := p.SpanY / probeGridSide
+	stepZ := p.SpanZ / probeGridSide
+	cell := func(v, min, step float64) int {
+		if step <= 0 {
+			return 0
+		}
+		c := int((v - min) / step)
+		return minInt(c, probeGridSide-1) // max coordinate lands inside
+	}
+	counts := make(map[int]int)
+	for i := range ds.Objects {
+		for _, pt := range ds.Objects[i].Pts {
+			k := (cell(pt.X, box.Min.X, stepX)*probeGridSide+
+				cell(pt.Y, box.Min.Y, stepY))*probeGridSide +
+				cell(pt.Z, box.Min.Z, stepZ)
+			counts[k]++
+		}
+	}
+	p.OccupiedCells = len(counts)
+	p.AvgCellPoints = float64(p.Points) / float64(maxInt(p.OccupiedCells, 1))
+	occ := make([]int, 0, len(counts))
+	for _, c := range counts {
+		occ = append(occ, c)
+		b := minInt(log2Floor(c), histBuckets-1)
+		p.OccupancyHist[b]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(occ)))
+	decile := maxInt(len(occ)/10, 1)
+	top := 0
+	for _, c := range occ[:decile] {
+		top += c
+	}
+	p.TopDecileShare = float64(top) / float64(p.Points)
+	p.MaxCellShare = float64(occ[0]) / float64(p.Points)
+	return p
+}
+
+// ExpectedCellPoints estimates how many points a verification-phase
+// large-grid cell (width ⌈r⌉) would hold at radius r, assuming the
+// profile's average density: the selector's signal for whether SoA
+// freezing will pay off. Planar data scales by r², volumetric by r³.
+func (p *Profile) ExpectedCellPoints(r float64) float64 {
+	w := math.Ceil(r)
+	if p.EffectiveDims == 2 {
+		return p.Density * w * w
+	}
+	return p.Density * w * w * w
+}
+
+func log2Floor(v int) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package tune
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"mio/internal/data"
+	"mio/internal/geom"
+)
+
+// grid constructs a dataset of single-point objects at the given
+// coordinates — the sharpest way to pin occupancy statistics.
+func gridDataset(pts []geom.Point) *data.Dataset {
+	ds := &data.Dataset{Name: "grid"}
+	for i, p := range pts {
+		ds.Objects = append(ds.Objects, data.Object{ID: i, Pts: []geom.Point{p}})
+	}
+	return ds
+}
+
+func TestProfilerBasicCounts(t *testing.T) {
+	ds := &data.Dataset{Name: "basic"}
+	sizes := []int{1, 2, 3, 4, 100}
+	id := 0
+	for _, n := range sizes {
+		pts := make([]geom.Point, n)
+		for j := range pts {
+			pts[j] = geom.Pt(float64(id), float64(j), 1)
+		}
+		ds.Objects = append(ds.Objects, data.Object{ID: id, Pts: pts})
+		id++
+	}
+	p := Profiler(ds)
+	if p.Objects != 5 || p.Points != 110 {
+		t.Fatalf("objects/points = %d/%d, want 5/110", p.Objects, p.Points)
+	}
+	if p.SizeMax != 100 || p.SizeP50 != 3 {
+		t.Fatalf("size max/p50 = %d/%d, want 100/3", p.SizeMax, p.SizeP50)
+	}
+	if p.EffectiveDims != 2 {
+		t.Fatalf("constant-Z data must profile as 2-D, got %d", p.EffectiveDims)
+	}
+	if math.Abs(p.AvgPoints-22) > 1e-9 {
+		t.Fatalf("avg points = %g, want 22", p.AvgPoints)
+	}
+}
+
+func TestProfilerPlanarDetectionIsExact(t *testing.T) {
+	// One point off-plane by any amount must flip the dataset to 3-D:
+	// the 2-D grid widening is only sound for exactly planar data.
+	pts := []geom.Point{geom.Pt(0, 0, 5), geom.Pt(10, 0, 5), geom.Pt(0, 10, 5.000001)}
+	if p := Profiler(gridDataset(pts)); p.EffectiveDims != 3 {
+		t.Fatalf("near-planar data profiled as %d-D, want 3", p.EffectiveDims)
+	}
+	pts[2].Z = 5
+	if p := Profiler(gridDataset(pts)); p.EffectiveDims != 2 {
+		t.Fatalf("planar data at Z=5 profiled as %d-D, want 2", p.EffectiveDims)
+	}
+}
+
+func TestProfilerSkewStatistics(t *testing.T) {
+	// 1000 points in one corner cell, 10 spread along the diagonal:
+	// near-total mass in the fullest cell.
+	pts := make([]geom.Point, 0, 1010)
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, geom.Pt(float64(i%10)*0.01, float64(i/10)*0.01, 0))
+	}
+	for i := 1; i <= 10; i++ {
+		pts = append(pts, geom.Pt(float64(i)*100, float64(i)*100, 0))
+	}
+	p := Profiler(gridDataset(pts))
+	if p.MaxCellShare < 0.9 {
+		t.Fatalf("hotspot max cell share = %g, want ≥ 0.9", p.MaxCellShare)
+	}
+	if p.TopDecileShare < p.MaxCellShare {
+		t.Fatalf("top decile share %g < max cell share %g", p.TopDecileShare, p.MaxCellShare)
+	}
+	// Uniform single-occupancy control: every cell holds one point, so
+	// the top decile holds ≈ 10% of the mass.
+	u := make([]geom.Point, 0, probeGridSide*probeGridSide)
+	for x := 0; x < probeGridSide; x++ {
+		for y := 0; y < probeGridSide; y++ {
+			u = append(u, geom.Pt(float64(x)+0.5, float64(y)+0.5, 0))
+		}
+	}
+	up := Profiler(gridDataset(u))
+	if up.TopDecileShare > 0.12 {
+		t.Fatalf("uniform top decile share = %g, want ≈ 0.10", up.TopDecileShare)
+	}
+	if up.MaxCellShare > 0.01 {
+		t.Fatalf("uniform max cell share = %g, want tiny", up.MaxCellShare)
+	}
+	if up.OccupiedCells != probeGridSide*probeGridSide {
+		t.Fatalf("uniform occupied cells = %d, want %d", up.OccupiedCells, probeGridSide*probeGridSide)
+	}
+}
+
+func TestProfilerOccupancyHistogram(t *testing.T) {
+	// 4 points in one cell, 1 in a far one: buckets log2(4)=2 and 0.
+	pts := []geom.Point{
+		geom.Pt(0, 0, 0), geom.Pt(0.01, 0, 0), geom.Pt(0, 0.01, 0), geom.Pt(0.01, 0.01, 0),
+		geom.Pt(1000, 1000, 0),
+	}
+	p := Profiler(gridDataset(pts))
+	if p.OccupiedCells != 2 {
+		t.Fatalf("occupied cells = %d, want 2", p.OccupiedCells)
+	}
+	if p.OccupancyHist[0] != 1 || p.OccupancyHist[2] != 1 {
+		t.Fatalf("occupancy hist = %v, want buckets 0 and 2 set", p.OccupancyHist)
+	}
+}
+
+func TestProfilerDeterministicAndSerializable(t *testing.T) {
+	ds := data.GenUniform(data.UniformConfig{N: 200, M: 8, FieldSize: 500, Spread: 12, Seed: 14})
+	a, b := Profiler(ds), Profiler(ds)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("profiler is not deterministic over the same dataset")
+	}
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*a, back) {
+		t.Fatal("profile does not round-trip through JSON")
+	}
+}
+
+func TestExpectedCellPoints(t *testing.T) {
+	// 1000 points over a 100×100 plane → density 0.1/unit². At r=10 a
+	// query cell is 10×10 → 10 expected points; volumetric scales r³.
+	pts := make([]geom.Point, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, geom.Pt(float64(i%100), float64(i/10), 0))
+	}
+	p := Profiler(gridDataset(pts))
+	if p.EffectiveDims != 2 {
+		t.Fatalf("dims = %d, want 2", p.EffectiveDims)
+	}
+	got := p.ExpectedCellPoints(10)
+	want := p.Density * 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("expected cell points = %g, want %g", got, want)
+	}
+	p.EffectiveDims = 3
+	if g := p.ExpectedCellPoints(10); math.Abs(g-p.Density*1000) > 1e-9 {
+		t.Fatalf("volumetric cell points = %g, want %g", g, p.Density*1000)
+	}
+}
+
+func TestProfilerEmptyDataset(t *testing.T) {
+	p := Profiler(&data.Dataset{Name: "empty"})
+	if p.Objects != 0 || p.Points != 0 {
+		t.Fatalf("empty dataset profile: %+v", p)
+	}
+}

@@ -1,0 +1,212 @@
+package tune
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mio/internal/core"
+)
+
+// Env is the deployment context the selector combines with the
+// dataset profile: the core budget and the radius range queries are
+// expected to use (the server's and bench suite's sweep when nothing
+// better is known).
+type Env struct {
+	// MaxProcs is the core budget, normally runtime.GOMAXPROCS(0).
+	MaxProcs int
+	// ExpectedRs is the anticipated radius range; nil falls back to
+	// DefaultRs. Only the min/max matter.
+	ExpectedRs []float64
+}
+
+// DefaultRs is the radius sweep assumed when the caller has no better
+// information — the bench suite's default sweep.
+var DefaultRs = []float64{4, 6, 8, 10}
+
+// Tuning is a full knob assignment: the engine options plus the
+// serving-layer knobs the profile informs. Every field is
+// answer-invariant — see DESIGN.md §16 for the argument per knob.
+type Tuning struct {
+	Opts core.Options `json:"-"`
+
+	// Serialized views of the chosen engine knobs for /metrics.
+	Workers         int    `json:"workers"`
+	Dims            int    `json:"dims"`
+	LB              string `json:"lb"`
+	UB              string `json:"ub"`
+	FreezeMinPoints int    `json:"freeze_min_points"`
+
+	// PoolSize is the suggested server engine-pool size (Config
+	// MaxInFlight): enough engines to keep every core busy given each
+	// engine's worker count.
+	PoolSize int `json:"pool_size"`
+
+	// Batch gather knobs for the cell-major execution engine.
+	BatchWindow  time.Duration `json:"batch_window_ns"`
+	BatchMaxSize int           `json:"batch_max_size"`
+
+	// Rules names the heuristic rules that fired, in application
+	// order — the explanation trail logged by miosrv -autotune.
+	Rules []string `json:"rules"`
+}
+
+// String renders the one-line summary used by miosrv's -autotune log.
+func (t *Tuning) String() string {
+	return fmt.Sprintf("workers=%d dims=%d lb=%s ub=%s freeze_min=%d pool=%d batch_window=%s batch_max=%d rules=[%s]",
+		t.Workers, t.Dims, t.LB, t.UB, t.FreezeMinPoints, t.PoolSize,
+		t.BatchWindow, t.BatchMaxSize, strings.Join(t.Rules, " "))
+}
+
+// Selector thresholds. Each backs exactly one named rule below; the
+// rule tests in select_test.go pin every threshold against synthetic
+// profiles on both sides.
+const (
+	// tinyPoints: below this many total points a query is so short
+	// that §IV's parallel phases cost more in coordination than they
+	// save; stay on the single-core §III path.
+	tinyPoints = 100_000
+	// fewObjectsPerCore: with fewer objects than this per core, an
+	// object partition cannot balance; split inside objects instead.
+	fewObjectsPerCore = 64
+	// sizeSkewHeavy: P99/P50 object-size ratio above which size-based
+	// (within-object) partitions beat object-count-based ones.
+	sizeSkewHeavy = 8.0
+	// skewedTopDecile: top-decile cell share above which the dataset
+	// counts as heavily skewed (uniform data scores ≈ 0.10).
+	skewedTopDecile = 0.5
+	// freezeHotCellPoints: expected points per query cell above which
+	// cells freeze into SoA form eagerly (threshold 8).
+	freezeHotCellPoints = 256
+	// freezeSparseCellPoints: expected points per query cell below
+	// which freezing is deferred (threshold 128) — flattening a cell
+	// that barely clears the default threshold never pays back.
+	freezeSparseCellPoints = 16
+	// batchBigPoints: total points above which one engine pass is slow
+	// enough that the batch gather window widens to collect more
+	// sharers per epoch.
+	batchBigPoints = 500_000
+)
+
+// Select maps a profile and environment to a Tuning via the heuristic
+// table of DESIGN.md §16. Determinism: same profile + env, same
+// Tuning. Every rule is unit-tested in isolation against synthetic
+// profiles.
+func Select(p *Profile, env Env) Tuning {
+	if env.MaxProcs < 1 {
+		env.MaxProcs = 1
+	}
+	rs := env.ExpectedRs
+	if len(rs) == 0 {
+		rs = DefaultRs
+	}
+	rMin, rMax := rs[0], rs[0]
+	for _, r := range rs[1:] {
+		if r < rMin {
+			rMin = r
+		}
+		if r > rMax {
+			rMax = r
+		}
+	}
+
+	t := Tuning{}
+	rule := func(name string) { t.Rules = append(t.Rules, name) }
+
+	// --- dimensionality ---
+	t.Opts.Dims = 3
+	if p.EffectiveDims == 2 {
+		// planar-2d: exactly-planar data widens small-grid cells from
+		// r/√3 to r/√2 — tighter lower bounds, strictly fewer
+		// candidates, never more dist_comps.
+		t.Opts.Dims = 2
+		rule("planar-2d")
+	}
+
+	// --- worker count ---
+	switch {
+	case env.MaxProcs < 2:
+		// single-core-host: no cores to parallelise over.
+		t.Opts.Workers = 1
+		rule("single-core-host")
+	case p.Points < tinyPoints:
+		// single-core-tiny: coordination overhead exceeds the work.
+		t.Opts.Workers = 1
+		rule("single-core-tiny")
+	default:
+		// parallel-large: §IV parallel phases on every core.
+		t.Opts.Workers = env.MaxProcs
+		rule("parallel-large")
+	}
+
+	// --- lower-bounding partition (only observable when Workers > 1,
+	// but always selected so the choice is deterministic) ---
+	if p.Objects < fewObjectsPerCore*maxInt(t.Opts.Workers, 1) || p.SizeSkew() >= sizeSkewHeavy {
+		// lb-split-keylists: few huge objects (or heavy size skew) make
+		// object-count partitions unbalanceable; divide each object's
+		// key list across cores instead (§IV LB-hash-p).
+		t.Opts.LB = core.LBHashP
+		rule("lb-split-keylists")
+	} else {
+		// lb-partition-objects: many comparable objects balance well
+		// under the greedy object partition (§IV LB-greedy-d).
+		t.Opts.LB = core.LBGreedyD
+		rule("lb-partition-objects")
+	}
+
+	// --- upper-bounding partition ---
+	if p.SizeSkew() < sizeSkewHeavy && p.TopDecileShare < skewedTopDecile {
+		// ub-partition-objects: uniform sizes and low spatial skew make
+		// per-object costs comparable, so the cheap |P_i| partition
+		// (UB-greedy-d) balances without the Eq. 3 cost model.
+		t.Opts.UB = core.UBGreedyD
+		rule("ub-partition-objects")
+	} else {
+		// ub-cost-model: skew in either dimension needs the Eq. 3
+		// cost-based point-group partition (UB-greedy-p).
+		t.Opts.UB = core.UBGreedyP
+		rule("ub-cost-model")
+	}
+
+	// --- freeze threshold ---
+	t.Opts.FreezeMinPoints = core.DefaultFreezeMinPoints
+	if p.ExpectedCellPoints(rMax) >= freezeHotCellPoints || p.MaxCellShare >= 0.5 {
+		// freeze-hot-cells: dense query cells (or one cell holding half
+		// the dataset) amortise SoA flattening almost immediately;
+		// freeze small cells too.
+		t.Opts.FreezeMinPoints = 8
+		rule("freeze-hot-cells")
+	} else if p.ExpectedCellPoints(rMin) < freezeSparseCellPoints && p.MaxCellShare < 0.5 {
+		// freeze-late-sparse: sparse cells are probed a handful of
+		// times; raise the threshold so flattening cost is only paid by
+		// cells that really concentrate work.
+		t.Opts.FreezeMinPoints = 128
+		rule("freeze-late-sparse")
+	}
+
+	// --- server pool ---
+	// pool-fill-cores: enough concurrent engines to cover every core,
+	// given each engine burns Workers cores.
+	t.PoolSize = maxInt(env.MaxProcs/maxInt(t.Opts.Workers, 1), 1)
+	rule("pool-fill-cores")
+
+	// --- batch gather window ---
+	if p.Points >= batchBigPoints {
+		// batch-wide-window: slow epochs amortise a longer gather.
+		t.BatchWindow = 5 * time.Millisecond
+		t.BatchMaxSize = 512
+		rule("batch-wide-window")
+	} else {
+		// batch-narrow-window: fast epochs keep latency low.
+		t.BatchWindow = 2 * time.Millisecond
+		t.BatchMaxSize = 256
+		rule("batch-narrow-window")
+	}
+
+	t.Workers = t.Opts.Workers
+	t.Dims = t.Opts.Dims
+	t.LB = t.Opts.LB.String()
+	t.UB = t.Opts.UB.String()
+	t.FreezeMinPoints = t.Opts.FreezeMinPoints
+	return t
+}

@@ -1,0 +1,156 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mio/internal/core"
+)
+
+// baseProfile is a moderate, unskewed 3-D profile that fires none of
+// the special-case rules on a multi-core host; each rule test perturbs
+// exactly the features its rule reads.
+func baseProfile() *Profile {
+	return &Profile{
+		Objects: 10_000, Points: 200_000, AvgPoints: 20,
+		SizeP10: 16, SizeP50: 20, SizeP90: 25, SizeP99: 30, SizeMax: 40,
+		SpanX: 1000, SpanY: 1000, SpanZ: 1000,
+		Density:       0.0002, // 0.2 points per 10³ cell at r=10
+		EffectiveDims: 3,
+		OccupiedCells: 20_000, AvgCellPoints: 10,
+		TopDecileShare: 0.15, MaxCellShare: 0.001,
+	}
+}
+
+func fired(t Tuning, rule string) bool {
+	for _, r := range t.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRulePlanar2D(t *testing.T) {
+	p := baseProfile()
+	p.EffectiveDims = 2
+	got := Select(p, Env{MaxProcs: 4})
+	if got.Opts.Dims != 2 || !fired(got, "planar-2d") {
+		t.Fatalf("planar profile: dims=%d rules=%v", got.Opts.Dims, got.Rules)
+	}
+	p.EffectiveDims = 3
+	if got := Select(p, Env{MaxProcs: 4}); got.Opts.Dims != 3 || fired(got, "planar-2d") {
+		t.Fatalf("volumetric profile: dims=%d rules=%v", got.Opts.Dims, got.Rules)
+	}
+}
+
+func TestRuleWorkerCount(t *testing.T) {
+	p := baseProfile()
+	if got := Select(p, Env{MaxProcs: 1}); got.Opts.Workers != 1 || !fired(got, "single-core-host") {
+		t.Fatalf("1-core host: workers=%d rules=%v", got.Opts.Workers, got.Rules)
+	}
+	p.Points = tinyPoints - 1
+	if got := Select(p, Env{MaxProcs: 8}); got.Opts.Workers != 1 || !fired(got, "single-core-tiny") {
+		t.Fatalf("tiny dataset: workers=%d rules=%v", got.Opts.Workers, got.Rules)
+	}
+	p.Points = tinyPoints
+	if got := Select(p, Env{MaxProcs: 8}); got.Opts.Workers != 8 || !fired(got, "parallel-large") {
+		t.Fatalf("large dataset: workers=%d rules=%v", got.Opts.Workers, got.Rules)
+	}
+}
+
+func TestRuleLBPartition(t *testing.T) {
+	p := baseProfile()
+	if got := Select(p, Env{MaxProcs: 4}); got.Opts.LB != core.LBGreedyD || !fired(got, "lb-partition-objects") {
+		t.Fatalf("many comparable objects: lb=%v rules=%v", got.Opts.LB, got.Rules)
+	}
+	few := baseProfile()
+	few.Objects = 100 // < 64 per core on 4 cores
+	if got := Select(few, Env{MaxProcs: 4}); got.Opts.LB != core.LBHashP || !fired(got, "lb-split-keylists") {
+		t.Fatalf("few objects: lb=%v rules=%v", got.Opts.LB, got.Rules)
+	}
+	skew := baseProfile()
+	skew.SizeP99 = skew.SizeP50 * 10 // heavy size skew
+	if got := Select(skew, Env{MaxProcs: 4}); got.Opts.LB != core.LBHashP || !fired(got, "lb-split-keylists") {
+		t.Fatalf("size-skewed objects: lb=%v rules=%v", got.Opts.LB, got.Rules)
+	}
+}
+
+func TestRuleUBPartition(t *testing.T) {
+	p := baseProfile()
+	if got := Select(p, Env{MaxProcs: 4}); got.Opts.UB != core.UBGreedyD || !fired(got, "ub-partition-objects") {
+		t.Fatalf("uniform profile: ub=%v rules=%v", got.Opts.UB, got.Rules)
+	}
+	hot := baseProfile()
+	hot.TopDecileShare = 0.8 // heavy spatial skew
+	if got := Select(hot, Env{MaxProcs: 4}); got.Opts.UB != core.UBGreedyP || !fired(got, "ub-cost-model") {
+		t.Fatalf("spatially skewed profile: ub=%v rules=%v", got.Opts.UB, got.Rules)
+	}
+	szskew := baseProfile()
+	szskew.SizeP99 = szskew.SizeP50 * 10
+	if got := Select(szskew, Env{MaxProcs: 4}); got.Opts.UB != core.UBGreedyP || !fired(got, "ub-cost-model") {
+		t.Fatalf("size-skewed profile: ub=%v rules=%v", got.Opts.UB, got.Rules)
+	}
+}
+
+func TestRuleFreezeThreshold(t *testing.T) {
+	p := baseProfile()
+	// Base: 0.2 expected points per cell at the default r sweep →
+	// sparse → raised threshold.
+	if got := Select(p, Env{MaxProcs: 4}); got.Opts.FreezeMinPoints != 128 || !fired(got, "freeze-late-sparse") {
+		t.Fatalf("sparse profile: freeze=%d rules=%v", got.Opts.FreezeMinPoints, got.Rules)
+	}
+	dense := baseProfile()
+	dense.Density = 1.0 // 1000 points per 10³ cell at r=10
+	if got := Select(dense, Env{MaxProcs: 4}); got.Opts.FreezeMinPoints != 8 || !fired(got, "freeze-hot-cells") {
+		t.Fatalf("dense profile: freeze=%d rules=%v", got.Opts.FreezeMinPoints, got.Rules)
+	}
+	onecell := baseProfile()
+	onecell.MaxCellShare = 0.9 // all mass in one probe cell
+	if got := Select(onecell, Env{MaxProcs: 4}); got.Opts.FreezeMinPoints != 8 || !fired(got, "freeze-hot-cells") {
+		t.Fatalf("one-cell profile: freeze=%d rules=%v", got.Opts.FreezeMinPoints, got.Rules)
+	}
+	mid := baseProfile()
+	mid.Density = 0.2 // 25 at r=5 min … 200 at r=10 max: neither rule
+	if got := Select(mid, Env{MaxProcs: 4, ExpectedRs: []float64{5, 10}}); got.Opts.FreezeMinPoints != core.DefaultFreezeMinPoints {
+		t.Fatalf("middle-density profile: freeze=%d rules=%v", got.Opts.FreezeMinPoints, got.Rules)
+	}
+}
+
+func TestRulePoolSize(t *testing.T) {
+	p := baseProfile()
+	p.Points = 10 * tinyPoints // parallel-large fires → workers = procs
+	if got := Select(p, Env{MaxProcs: 8}); got.PoolSize != 1 {
+		t.Fatalf("parallel engines: pool=%d, want 1", got.PoolSize)
+	}
+	p.Points = tinyPoints - 1 // single-core engines → pool covers cores
+	if got := Select(p, Env{MaxProcs: 8}); got.PoolSize != 8 {
+		t.Fatalf("serial engines: pool=%d, want 8", got.PoolSize)
+	}
+}
+
+func TestRuleBatchWindow(t *testing.T) {
+	p := baseProfile()
+	if got := Select(p, Env{MaxProcs: 4}); got.BatchWindow != 2*time.Millisecond || got.BatchMaxSize != 256 || !fired(got, "batch-narrow-window") {
+		t.Fatalf("small dataset: window=%v max=%d rules=%v", got.BatchWindow, got.BatchMaxSize, got.Rules)
+	}
+	p.Points = batchBigPoints
+	if got := Select(p, Env{MaxProcs: 4}); got.BatchWindow != 5*time.Millisecond || got.BatchMaxSize != 512 || !fired(got, "batch-wide-window") {
+		t.Fatalf("big dataset: window=%v max=%d rules=%v", got.BatchWindow, got.BatchMaxSize, got.Rules)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	p := baseProfile()
+	a := Select(p, Env{MaxProcs: 4})
+	b := Select(p, Env{MaxProcs: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Select is not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Workers != a.Opts.Workers || a.Dims != a.Opts.Dims ||
+		a.LB != a.Opts.LB.String() || a.UB != a.Opts.UB.String() ||
+		a.FreezeMinPoints != a.Opts.FreezeMinPoints {
+		t.Fatalf("serialized knob views diverge from Opts: %+v", a)
+	}
+}

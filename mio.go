@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"mio/internal/core"
 	"mio/internal/core/labelstore"
 	"mio/internal/data"
 	"mio/internal/geom"
+	"mio/internal/tune"
 )
 
 // Point is a point in 3-D space; planar data uses Z = 0.
@@ -79,6 +81,28 @@ type Option func(*config) error
 
 type config struct {
 	opts core.Options
+	// autoTune enables profile-driven knob selection at engine build
+	// time; the set* flags record explicitly chosen knobs, which the
+	// tuner never overrides.
+	autoTune   bool
+	setWorkers bool
+	setDims    bool
+	setLB      bool
+	setUB      bool
+}
+
+// WithAutoTune profiles the dataset when the engine is built and picks
+// the engine knobs (worker count, 2-D vs 3-D grid, parallel
+// partitioning strategies, freeze threshold) from its measured shape —
+// skew, density, extent, object sizes (DESIGN.md §16). Knobs fixed
+// explicitly by other options are respected. Tuning is
+// answer-invariant: whatever it picks, queries return the identical
+// top-k, and no knob ever increases the distance-computation count.
+func WithAutoTune() Option {
+	return func(c *config) error {
+		c.autoTune = true
+		return nil
+	}
 }
 
 // WithWorkers enables the parallel algorithms of §IV on t cores
@@ -89,6 +113,7 @@ func WithWorkers(t int) Option {
 			return fmt.Errorf("mio: negative worker count %d", t)
 		}
 		c.opts.Workers = t
+		c.setWorkers = true
 		return nil
 	}
 }
@@ -98,6 +123,7 @@ func WithWorkers(t int) Option {
 func With2D() Option {
 	return func(c *config) error {
 		c.opts.Dims = 2
+		c.setDims = true
 		return nil
 	}
 }
@@ -130,6 +156,7 @@ func WithDiskLabels(dir string) Option {
 func WithLBStrategy(s LBStrategy) Option {
 	return func(c *config) error {
 		c.opts.LB = s
+		c.setLB = true
 		return nil
 	}
 }
@@ -138,18 +165,45 @@ func WithLBStrategy(s LBStrategy) Option {
 func WithUBStrategy(s UBStrategy) Option {
 	return func(c *config) error {
 		c.opts.UB = s
+		c.setUB = true
 		return nil
 	}
 }
 
-func buildConfig(opts []Option) (core.Options, error) {
+func buildConfig(opts []Option) (config, error) {
 	var c config
 	for _, o := range opts {
 		if err := o(&c); err != nil {
-			return core.Options{}, err
+			return config{}, err
 		}
 	}
-	return c.opts, nil
+	return c, nil
+}
+
+// resolve finalises the engine options for ds: under WithAutoTune it
+// profiles the dataset and fills every knob the caller did not fix.
+func (c *config) resolve(ds *Dataset) core.Options {
+	if !c.autoTune {
+		return c.opts
+	}
+	tn := tune.Select(tune.Profiler(ds), tune.Env{MaxProcs: runtime.GOMAXPROCS(0)})
+	out := c.opts
+	if !c.setWorkers {
+		out.Workers = tn.Opts.Workers
+	}
+	if !c.setDims {
+		out.Dims = tn.Opts.Dims
+	}
+	if !c.setLB {
+		out.LB = tn.Opts.LB
+	}
+	if !c.setUB {
+		out.UB = tn.Opts.UB
+	}
+	if out.FreezeMinPoints == 0 && !out.DisableFreeze {
+		out.FreezeMinPoints = tn.Opts.FreezeMinPoints
+	}
+	return out
 }
 
 // Engine processes MIO queries over one dataset. It is safe to issue
@@ -162,11 +216,11 @@ type Engine struct {
 // NewEngine returns an engine over ds. The dataset must not be mutated
 // afterwards.
 func NewEngine(ds *Dataset, opts ...Option) (*Engine, error) {
-	co, err := buildConfig(opts)
+	c, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewEngine(ds, co)
+	inner, err := core.NewEngine(ds, c.resolve(ds))
 	if err != nil {
 		return nil, err
 	}
@@ -191,11 +245,11 @@ type TemporalEngine struct {
 
 // NewTemporalEngine returns a temporal engine over ds.
 func NewTemporalEngine(ds *Dataset, opts ...Option) (*TemporalEngine, error) {
-	co, err := buildConfig(opts)
+	c, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewTemporalEngine(ds, co)
+	inner, err := core.NewTemporalEngine(ds, c.resolve(ds))
 	if err != nil {
 		return nil, err
 	}

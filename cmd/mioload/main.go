@@ -307,6 +307,10 @@ func runCompareShards(cfg loadgen.Config, dataset string, scale float64, workers
 		healthy.ShardRetries, chaos.ShardRetries,
 		healthy.ShardHedges, chaos.ShardHedges,
 		healthy.ShardDowns, chaos.ShardDowns)
+	if healthy.ShardStale+chaos.ShardStale+healthy.ShardBad+chaos.ShardBad > 0 {
+		fmt.Printf("  shard reject  %d vs %d stale-generation, %d vs %d invalid responses\n",
+			healthy.ShardStale, chaos.ShardStale, healthy.ShardBad, chaos.ShardBad)
+	}
 	if !healthy.Sharded || !chaos.Sharded {
 		fmt.Println("  NOTE: server did not report a shards metrics section; is Config.Shards wired?")
 		os.Exit(1)

@@ -14,6 +14,21 @@
 //	miosrv -gen syn -shards 4             # fault-tolerant sharded scatter–gather
 //	miosrv -gen commute -autotune         # profile the dataset, let it pick the knobs
 //
+// Multi-process sharded serving splits the same scatter–gather across
+// real processes (DESIGN.md §17). Every process loads the identical
+// dataset (same -data file, or same -gen/-seed/-scale):
+//
+//	miosrv -gen syn -shards 3 -shard-serve -shard-index 0 -addr :7001   # worker 0
+//	miosrv -gen syn -shards 3 -shard-serve -shard-index 1 -addr :7002   # worker 1
+//	miosrv -gen syn -shards 3 -shard-serve -shard-index 2 -addr :7003   # worker 2
+//	miosrv -gen syn -shards-at http://localhost:7001,http://localhost:7002,http://localhost:7003
+//
+// A worker serves one shard's bound/verify phases plus a /shardz
+// health endpoint; the coordinator validates every worker response
+// (checksummed envelope, dataset-generation stamp, range and order
+// checks) and degrades to certified [LB, UB] intervals when workers
+// die, flap, or answer from the wrong dataset generation.
+//
 // -shards and -batch are mutually exclusive: both want to own
 // /v1/query routing (scatter–gather vs epoch batching), and the server
 // refuses the combination. All flag combinations are validated before
@@ -49,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +74,7 @@ import (
 	"mio/internal/durable"
 	"mio/internal/fault"
 	"mio/internal/server"
+	"mio/internal/shard/remote"
 )
 
 func main() {
@@ -88,6 +105,10 @@ func main() {
 		shardTO  = flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 selects 2s; needs -shards)")
 		shardTry = flag.Int("shard-retries", 0, "per-shard retry budget after a failed attempt (0 selects 1, negative disables; needs -shards)")
 		shardHdg = flag.Duration("shard-hedge", 0, "launch a speculative extra attempt against a straggling shard after this long (0 selects timeout/4, negative disables; needs -shards)")
+		shardSrv = flag.Bool("shard-serve", false, "run as one shard WORKER of a multi-process cluster: serve this shard's bound/verify phases plus /shardz (needs -shards for the partition count and -shard-index)")
+		shardIdx = flag.Int("shard-index", 0, "this worker's shard id in [0, shards) (needs -shard-serve)")
+		shardsAt = flag.String("shards-at", "", "run as the COORDINATOR of a multi-process cluster: comma-separated worker base URLs in shard-id order, e.g. http://h1:7001,http://h2:7001 (incompatible with -shards/-batch)")
+		shardPrb = flag.Duration("shard-probe", 0, "remote worker health-probe interval (0 selects 1s; needs -shards-at)")
 		autotune = flag.Bool("autotune", false, "profile the dataset and auto-select the engine knobs (conflicts with explicit -workers/-dims; -inflight/-batch-window/-batch-max are tuned only when unset)")
 	)
 	flag.Parse()
@@ -102,8 +123,24 @@ func main() {
 		fatal("-shards and -batch are mutually exclusive (both own /v1/query routing)")
 	case (*batchWin != 0 || *batchMax != 0) && !*batchOn:
 		fatal("-batch-window/-batch-max require -batch")
-	case (*shardR != 0 || *shardTO != 0 || *shardTry != 0 || *shardHdg != 0) && *shards == 0:
-		fatal("-shard-max-r/-shard-timeout/-shard-retries/-shard-hedge require -shards")
+	case (*shardR != 0 || *shardTO != 0 || *shardTry != 0 || *shardHdg != 0) && *shards == 0 && *shardsAt == "":
+		fatal("-shard-max-r/-shard-timeout/-shard-retries/-shard-hedge require -shards or -shards-at")
+	case *shardSrv && *shardsAt != "":
+		fatal("-shard-serve and -shards-at are mutually exclusive (one process is a worker or a coordinator, not both)")
+	case *shardSrv && *shards < 2:
+		fatal("-shard-serve requires -shards ≥ 2 (the cluster's total partition count)")
+	case *shardSrv && (*shardIdx < 0 || *shardIdx >= *shards):
+		fatal(fmt.Sprintf("-shard-index %d outside [0, %d)", *shardIdx, *shards))
+	case explicit["shard-index"] && !*shardSrv:
+		fatal("-shard-index requires -shard-serve")
+	case *shardSrv && (*batchOn || *swap || *stateDir != "" || *autotune):
+		fatal("-shard-serve is a bare shard worker: incompatible with -batch, -allow-swap, -state-dir, -autotune")
+	case *shardsAt != "" && *shards > 0:
+		fatal("-shards-at and -shards are mutually exclusive (remote vs in-process shards)")
+	case *shardsAt != "" && *batchOn:
+		fatal("-shards-at and -batch are mutually exclusive (both own /v1/query routing)")
+	case *shardPrb != 0 && *shardsAt == "":
+		fatal("-shard-probe requires -shards-at")
 	case *labelDir != "" && *stateDir != "":
 		fatal("-labels and -state-dir are mutually exclusive (labels live inside the state directory)")
 	case *dataPath != "" && *gen != "":
@@ -178,25 +215,32 @@ func main() {
 			opts.Labels = labelstore.NewStore()
 		}
 	}
+	if *shardSrv {
+		serveWorker(ds, opts, reg, *addr, *shardIdx, *shards, *shardR, *inflight)
+		return
+	}
+
 	cfg := server.Config{
-		MaxInFlight:     *inflight,
-		AdmissionWait:   *admWait,
-		QueryTimeout:    queryTimeout(*timeout),
-		CacheSize:       *cacheSz,
-		DisableCache:    *noCache,
-		DisableCoalesce: *noCoal,
-		AllowSwap:       *swap,
-		State:           st,
-		Faults:          reg,
-		BatchExecution:  *batchOn,
-		BatchWindow:     *batchWin,
-		BatchMaxSize:    *batchMax,
-		Shards:          *shards,
-		ShardMaxR:       *shardR,
-		ShardTimeout:    *shardTO,
-		ShardRetries:    *shardTry,
-		ShardHedgeAfter: *shardHdg,
-		AutoTune:        *autotune,
+		MaxInFlight:        *inflight,
+		AdmissionWait:      *admWait,
+		QueryTimeout:       queryTimeout(*timeout),
+		CacheSize:          *cacheSz,
+		DisableCache:       *noCache,
+		DisableCoalesce:    *noCoal,
+		AllowSwap:          *swap,
+		State:              st,
+		Faults:             reg,
+		BatchExecution:     *batchOn,
+		BatchWindow:        *batchWin,
+		BatchMaxSize:       *batchMax,
+		Shards:             *shards,
+		ShardMaxR:          *shardR,
+		ShardTimeout:       *shardTO,
+		ShardRetries:       *shardTry,
+		ShardHedgeAfter:    *shardHdg,
+		ShardAddrs:         splitAddrs(*shardsAt),
+		ShardProbeInterval: *shardPrb,
+		AutoTune:           *autotune,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "miosrv: "+format+"\n", args...)
 		},
@@ -240,6 +284,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "miosrv: bye")
+}
+
+// serveWorker runs the process as one shard worker: a Worker handler
+// on addr with graceful SIGINT/SIGTERM shutdown. The engine pool gets
+// two slots per coordinator-side in-flight query (original + hedge),
+// mirroring the in-process provisioning rule.
+func serveWorker(ds *data.Dataset, opts core.Options, reg *fault.Registry, addr string, index, shards int, maxR float64, inflight int) {
+	w, err := remote.NewWorker(ds, opts, remote.WorkerConfig{
+		Index:  index,
+		Shards: shards,
+		MaxR:   maxR,
+		Pool:   2 * inflight,
+		Faults: reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	st := w.Stamp()
+	fmt.Printf("miosrv: shard worker %d/%d serving %q on %s (generation %d)\n",
+		index, shards, ds.Name, addr, st.Generation)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "miosrv: shutdown:", err)
+		os.Exit(1)
+	}
+	w.Close()
+	fmt.Fprintln(os.Stderr, "miosrv: worker bye")
+}
+
+// splitAddrs parses the -shards-at list, trimming whitespace and
+// dropping empty entries.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // queryTimeout maps the flag convention (0 disables) onto the server

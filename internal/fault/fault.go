@@ -82,6 +82,25 @@ const (
 	// per-shard results merge into the global answer.
 	PointMerge = "shard.merge"
 
+	// PointNetSend fires in the remote shard client before a request
+	// leaves for a worker; an error is a send failure (connection
+	// refused, partition) before any bytes hit the wire.
+	PointNetSend = "shard.net_send"
+	// PointNetRecv fires in the remote shard client after a response
+	// body has been read, before it is validated; an error models the
+	// connection dying mid-response.
+	PointNetRecv = "shard.net_recv"
+	// PointNetCorrupt fires in the shard worker as each response
+	// envelope is written; an error makes the worker flip a byte of the
+	// sealed envelope, so the client's checksum validation must catch
+	// it — corrupt bytes on the wire, deterministically.
+	PointNetCorrupt = "shard.net_corrupt"
+	// PointStaleGen fires in the shard worker as each response is
+	// stamped; an error makes the worker stamp a wrong dataset
+	// generation, simulating a worker restarted onto a different
+	// dataset than the coordinator's.
+	PointStaleGen = "shard.stale_gen"
+
 	// PointIOWrite .. PointIODirSync fire inside internal/durable's
 	// atomic file commit, in commit order: while the payload is written
 	// to the *.tmp file, before the file Sync, before the rename onto

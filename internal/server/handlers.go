@@ -131,17 +131,23 @@ type BreakerStats struct {
 // (cmd/mioload reads the deltas of these to report degraded-answer and
 // retry/hedge rates per run), per-query pruning, and per-shard health.
 type ShardStats struct {
-	Shards         int                 `json:"shards"`
-	MaxR           float64             `json:"max_r"`
-	DegradedTotal  uint64              `json:"degraded_total"`
-	HedgesTotal    uint64              `json:"hedges_total"`
-	RetriesTotal   uint64              `json:"retries_total"`
-	DownsTotal     uint64              `json:"downs_total"`
-	ScatterLatency metrics.Snapshot    `json:"scatter_latency"`
-	MergeLatency   metrics.Snapshot    `json:"merge_latency"`
-	HedgeLatency   metrics.Snapshot    `json:"hedge_latency"`
-	PrunedPerQuery metrics.IntSnapshot `json:"pruned_per_query"`
-	PerShard       []shard.Health      `json:"per_shard"`
+	Shards        int     `json:"shards"`
+	MaxR          float64 `json:"max_r"`
+	DegradedTotal uint64  `json:"degraded_total"`
+	HedgesTotal   uint64  `json:"hedges_total"`
+	RetriesTotal  uint64  `json:"retries_total"`
+	DownsTotal    uint64  `json:"downs_total"`
+	// StaleTotal counts remote responses rejected by the dataset
+	// generation guard; BadResponsesTotal counts responses rejected by
+	// strict validation (corrupt envelope, malformed or out-of-range
+	// payload). Always 0 for in-process shards.
+	StaleTotal        uint64              `json:"stale_total"`
+	BadResponsesTotal uint64              `json:"bad_responses_total"`
+	ScatterLatency    metrics.Snapshot    `json:"scatter_latency"`
+	MergeLatency      metrics.Snapshot    `json:"merge_latency"`
+	HedgeLatency      metrics.Snapshot    `json:"hedge_latency"`
+	PrunedPerQuery    metrics.IntSnapshot `json:"pruned_per_query"`
+	PerShard          []shard.Health      `json:"per_shard"`
 }
 
 // TuningStats is the auto-tuning section of MetricsSnapshot: the
@@ -631,17 +637,19 @@ func (s *Server) shardStats(withBuckets bool) *ShardStats {
 	}
 	m := co.Metrics()
 	return &ShardStats{
-		Shards:         co.Shards(),
-		MaxR:           co.MaxR(),
-		DegradedTotal:  m.Degraded.Value(),
-		HedgesTotal:    m.Hedges.Value(),
-		RetriesTotal:   m.Retries.Value(),
-		DownsTotal:     m.Downs.Value(),
-		ScatterLatency: m.Scatter.Snapshot(withBuckets),
-		MergeLatency:   m.Merge.Snapshot(withBuckets),
-		HedgeLatency:   m.Hedge.Snapshot(withBuckets),
-		PrunedPerQuery: m.Pruned.Snapshot(withBuckets),
-		PerShard:       co.Health(),
+		Shards:            co.Shards(),
+		MaxR:              co.MaxR(),
+		DegradedTotal:     m.Degraded.Value(),
+		HedgesTotal:       m.Hedges.Value(),
+		RetriesTotal:      m.Retries.Value(),
+		DownsTotal:        m.Downs.Value(),
+		StaleTotal:        m.Stale.Value(),
+		BadResponsesTotal: m.Bad.Value(),
+		ScatterLatency:    m.Scatter.Snapshot(withBuckets),
+		MergeLatency:      m.Merge.Snapshot(withBuckets),
+		HedgeLatency:      m.Hedge.Snapshot(withBuckets),
+		PrunedPerQuery:    m.Pruned.Snapshot(withBuckets),
+		PerShard:          co.Health(),
 	}
 }
 

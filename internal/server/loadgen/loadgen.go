@@ -129,6 +129,8 @@ type Report struct {
 	ShardHedges   uint64 // speculative attempts against stragglers
 	ShardRetries  uint64 // bound attempts relaunched after a failure
 	ShardDowns    uint64 // per-query shard outcomes that ended down/late
+	ShardStale    uint64 // remote responses rejected by the generation guard
+	ShardBad      uint64 // remote responses rejected by strict validation
 }
 
 // String renders the report as the human-readable block cmd/mioload
@@ -174,6 +176,10 @@ func (r Report) String() string {
 			r.ShardCount, r.ShardDegraded, rate)
 		fmt.Fprintf(&b, "  shard faults  %d retries, %d hedges, %d down/late outcomes\n",
 			r.ShardRetries, r.ShardHedges, r.ShardDowns)
+		if r.ShardStale > 0 || r.ShardBad > 0 {
+			fmt.Fprintf(&b, "  shard reject  %d stale-generation, %d invalid responses\n",
+				r.ShardStale, r.ShardBad)
+		}
 	}
 	return b.String()
 }
@@ -350,6 +356,8 @@ func Run(cfg Config) (*Report, error) {
 		rep.ShardHedges = after.Shards.HedgesTotal - before.Shards.HedgesTotal
 		rep.ShardRetries = after.Shards.RetriesTotal - before.Shards.RetriesTotal
 		rep.ShardDowns = after.Shards.DownsTotal - before.Shards.DownsTotal
+		rep.ShardStale = after.Shards.StaleTotal - before.Shards.StaleTotal
+		rep.ShardBad = after.Shards.BadResponsesTotal - before.Shards.BadResponsesTotal
 	}
 	return rep, nil
 }

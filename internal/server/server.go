@@ -45,6 +45,7 @@ import (
 	"mio/internal/server/flight"
 	"mio/internal/server/metrics"
 	"mio/internal/shard"
+	"mio/internal/shard/remote"
 	"mio/internal/tune"
 )
 
@@ -144,6 +145,18 @@ type Config struct {
 	// 0 selects 3 failures / 5s.
 	ShardBreakThreshold int
 	ShardBreakCooldown  time.Duration
+	// ShardAddrs routes /v1/query through REMOTE shard worker processes
+	// at these base URLs (one per partition slot, in shard-id order, ≥ 2)
+	// instead of in-process shard engines — the multi-process deployment
+	// of the same scatter–gather algebra (DESIGN.md §17). The server
+	// still loads the full dataset: it computes the dataset generation
+	// every worker response must be stamped with, and it serves queries
+	// beyond ShardMaxR from its own engine pool. Mutually exclusive with
+	// Shards and BatchExecution.
+	ShardAddrs []string
+	// ShardProbeInterval is the remote worker health-probe cadence.
+	// 0 selects 1s. Ignored unless ShardAddrs is set.
+	ShardProbeInterval time.Duration
 	// AutoTune profiles the dataset at construction (and again on every
 	// swap) and lets internal/tune pick the engine knobs — worker count,
 	// grid dimensionality, parallel partitioning, freeze threshold —
@@ -337,6 +350,17 @@ func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 	if cfg.Shards > 0 && cfg.BatchExecution {
 		return nil, fmt.Errorf("server: Shards and BatchExecution are mutually exclusive")
 	}
+	if len(cfg.ShardAddrs) > 0 {
+		if cfg.Shards > 0 {
+			return nil, fmt.Errorf("server: ShardAddrs and Shards are mutually exclusive")
+		}
+		if cfg.BatchExecution {
+			return nil, fmt.Errorf("server: ShardAddrs and BatchExecution are mutually exclusive")
+		}
+		if len(cfg.ShardAddrs) < 2 {
+			return nil, fmt.Errorf("server: need at least 2 shard workers, got %d", len(cfg.ShardAddrs))
+		}
+	}
 	var ts *tuningState
 	if cfg.AutoTune {
 		ts = tuneFor(ds, cfg)
@@ -372,8 +396,47 @@ func New(ds *data.Dataset, engOpts core.Options, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.coord.Store(co)
+	} else if len(cfg.ShardAddrs) > 0 {
+		co, err := s.remoteCoordinator(ds)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.coord.Store(co)
 	}
 	return s, nil
+}
+
+// remoteCoordinator builds a scatter–gather coordinator over the
+// configured remote shard workers. The generation stamp is derived
+// from the server's own copy of the dataset plus the partition shape
+// — workers that loaded anything else are rejected at validation,
+// not merged.
+func (s *Server) remoteCoordinator(ds *data.Dataset) (*shard.Coordinator, error) {
+	cfg := s.shardConfig()
+	maxR := cfg.MaxR
+	if maxR <= 0 {
+		maxR = shard.DefaultMaxR
+	}
+	shards := len(s.cfg.ShardAddrs)
+	gen := remote.Generation(remote.Fingerprint(ds), shards, maxR)
+	backends := make([]shard.Backend, shards)
+	for i, addr := range s.cfg.ShardAddrs {
+		backends[i] = remote.NewClient(remote.ClientConfig{
+			Addr:          addr,
+			Stamp:         remote.Stamp{Generation: gen, Shard: i, Shards: shards},
+			Objects:       ds.N(),
+			ProbeInterval: s.cfg.ShardProbeInterval,
+			Faults:        s.cfg.Faults,
+		})
+	}
+	co, err := shard.NewWithBackends(backends, ds.N(), cfg)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
+	}
+	return co, nil
 }
 
 // shardConfig maps the server's shard tuning onto the coordinator's.
@@ -543,9 +606,17 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 	// carry over: counters describe the serving process, not one
 	// partition.
 	var coord *shard.Coordinator
-	if s.cfg.Shards > 0 {
+	if s.cfg.Shards > 0 || len(s.cfg.ShardAddrs) > 0 {
 		var err error
-		coord, err = shard.New(ds, opts, s.shardConfig())
+		if s.cfg.Shards > 0 {
+			coord, err = shard.New(ds, opts, s.shardConfig())
+		} else {
+			// Remote workers keep serving the OLD generation until they
+			// are redeployed with the new dataset; the fresh coordinator's
+			// stamp rejects their answers, so queries degrade (never mix
+			// generations) until the fleet catches up.
+			coord, err = s.remoteCoordinator(ds)
+		}
 		if err != nil {
 			if s.cfg.State != nil {
 				s.cfg.State.rollbackManifest(prevGen, prevOK)
@@ -573,7 +644,13 @@ func (s *Server) SwapDataset(ds *data.Dataset) error {
 		s.tuneState.Store(ts)
 	}
 	if coord != nil {
+		old := s.coord.Load()
 		s.coord.Store(coord)
+		if old != nil {
+			// Stops the old coordinator's background probers; in-flight
+			// queries that already loaded it still complete.
+			old.Close()
+		}
 	}
 	s.epoch.Add(1)
 	s.cache.Clear()
@@ -592,6 +669,11 @@ func (s *Server) Drain() {
 		// them out) so no epoch holds pending members; Close just stops
 		// the gather machinery.
 		s.batch.Close()
+	}
+	if co := s.coord.Load(); co != nil {
+		// Stops remote shard health probers; Close is idempotent and
+		// /healthz keeps serving the last-known shard states.
+		co.Close()
 	}
 }
 

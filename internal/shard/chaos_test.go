@@ -17,10 +17,14 @@ import (
 // and cancelled attempts (losers drain asynchronously).
 func waitSlots(t *testing.T, sh *Shard) {
 	t.Helper()
+	lb, ok := sh.backend.(*localBackend)
+	if !ok {
+		t.Fatalf("shard %d: backend is %T, not a local engine pool", sh.id, sh.backend)
+	}
 	deadline := time.Now().Add(5 * time.Second)
-	for len(sh.slots) != poolPerShard {
+	for len(lb.slots) != cap(lb.slots) {
 		if time.Now().After(deadline) {
-			t.Fatalf("shard %d: %d/%d engine slots returned", sh.id, len(sh.slots), poolPerShard)
+			t.Fatalf("shard %d: %d/%d engine slots returned", sh.id, len(lb.slots), cap(lb.slots))
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

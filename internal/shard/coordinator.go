@@ -62,7 +62,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.MaxR <= 0 {
-		c.MaxR = 10
+		c.MaxR = DefaultMaxR
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
@@ -104,6 +104,12 @@ type Metrics struct {
 	Retries  *metrics.Counter
 	Downs    *metrics.Counter // shard outcomes that ended down or late
 	Degraded *metrics.Counter
+	// Stale counts responses rejected by the dataset-generation guard;
+	// Bad counts responses rejected by strict validation (corrupt
+	// envelope, malformed payload). Both are remote-transport failures
+	// that degrade the shard instead of poisoning the merge.
+	Stale *metrics.Counter
+	Bad   *metrics.Counter
 	// Pruned observes, per query, how many shards the bound merge
 	// eliminated before verification.
 	Pruned *metrics.IntHistogram
@@ -118,26 +124,29 @@ func newMetrics() *Metrics {
 		Retries:  new(metrics.Counter),
 		Downs:    new(metrics.Counter),
 		Degraded: new(metrics.Counter),
+		Stale:    new(metrics.Counter),
+		Bad:      new(metrics.Counter),
 		Pruned:   metrics.NewIntHistogram(metrics.PowerOfTwoBounds(64)),
 	}
 }
 
-// Coordinator scatters MIO queries across N in-process shards and
-// gathers the per-shard bounds and verified results back into a single
-// answer. On a healthy cluster the answer is bitwise-identical to a
-// single-engine run; when shards are slow, dead or flapping it degrades
-// to a certified [LB, UB] interval instead of failing (DESIGN.md §15).
+// Coordinator scatters MIO queries across N shards — in-process engine
+// pools or remote worker processes, behind the same Backend interface —
+// and gathers the per-shard bounds and verified results back into a
+// single answer. On a healthy cluster the answer is bitwise-identical
+// to a single-engine run; when shards are slow, dead or flapping it
+// degrades to a certified [LB, UB] interval instead of failing
+// (DESIGN.md §15, §17).
 type Coordinator struct {
 	cfg    Config
-	part   *Partition
 	shards []*Shard
 	n      int // global object count
 	m      *Metrics
 }
 
-// New partitions ds per cfg and builds the shard engines. opts is the
-// per-shard engine template; when opts.Labels is set each shard gets
-// its own in-memory store (shard-local ids make the global store
+// New partitions ds per cfg and builds in-process shard engines. opts
+// is the per-shard engine template; when opts.Labels is set each shard
+// gets its own in-memory store (shard-local ids make the global store
 // meaningless), and cfg.Faults overrides opts.Faults so one registry
 // drives both coordinator and engine points.
 func New(ds *data.Dataset, opts core.Options, cfg Config) (*Coordinator, error) {
@@ -148,7 +157,6 @@ func New(ds *data.Dataset, opts core.Options, cfg Config) (*Coordinator, error) 
 	}
 	c := &Coordinator{
 		cfg:    cfg,
-		part:   part,
 		shards: make([]*Shard, cfg.Shards),
 		n:      ds.N(),
 		m:      newMetrics(),
@@ -163,13 +171,48 @@ func New(ds *data.Dataset, opts core.Options, cfg Config) (*Coordinator, error) 
 			shOpts.Faults = cfg.Faults
 		}
 		global := part.Members[s]
-		sh, err := newShard(s, cfg.Pool, local, global, primary, shOpts, cfg.BreakThreshold, cfg.BreakCooldown)
+		backend, err := newLocalBackend(s, cfg.Pool, local, global, primary, shOpts)
 		if err != nil {
 			return nil, err
 		}
-		c.shards[s] = sh
+		c.shards[s] = newShard(s, backend, cfg.BreakThreshold, cfg.BreakCooldown)
 	}
 	return c, nil
+}
+
+// NewWithBackends builds a coordinator over caller-supplied shard
+// transports — the multi-process entry point, where each backend is a
+// remote worker client. n is the global object count (the trivial
+// degradation bound when a shard has no recorded envelope); backends
+// are taken in shard-id order. The coordinator owns the backends and
+// closes them via Close.
+func NewWithBackends(backends []Backend, n int, cfg Config) (*Coordinator, error) {
+	if len(backends) < 2 {
+		return nil, fmt.Errorf("shard: need at least 2 backends, got %d", len(backends))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("shard: need at least 2 objects, got %d", n)
+	}
+	cfg.Shards = len(backends)
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		shards: make([]*Shard, len(backends)),
+		n:      n,
+		m:      newMetrics(),
+	}
+	for s, b := range backends {
+		c.shards[s] = newShard(s, b, cfg.BreakThreshold, cfg.BreakCooldown)
+	}
+	return c, nil
+}
+
+// Close releases every shard backend (stops remote health probers).
+// In-flight queries may still complete; new ones should not be issued.
+func (c *Coordinator) Close() {
+	for _, sh := range c.shards {
+		sh.backend.Close()
+	}
 }
 
 // Shards returns the shard count.
@@ -186,6 +229,10 @@ func (c *Coordinator) Metrics() *Metrics { return c.m }
 // counters. Must be called before the coordinator serves queries.
 func (c *Coordinator) AdoptMetrics(m *Metrics) {
 	if m != nil {
+		if m.Stale == nil { // metric set from before the remote transport
+			m.Stale = new(metrics.Counter)
+			m.Bad = new(metrics.Counter)
+		}
 		c.m = m
 	}
 }
@@ -202,17 +249,15 @@ func (c *Coordinator) Health() []Health {
 
 // attemptRes is one bound attempt's outcome.
 type attemptRes struct {
-	set *core.BoundSet
-	eng *core.Engine
-	err error
+	bounds Bounds
+	err    error
 }
 
 // shardBound is one shard's overall bound-phase outcome after retries
 // and hedging.
 type shardBound struct {
 	sh       *Shard
-	set      *core.BoundSet
-	eng      *core.Engine
+	bounds   Bounds
 	attempts int
 	hedged   bool
 	err      error
@@ -264,8 +309,8 @@ func (c *Coordinator) Query(ctx context.Context, r float64, k int) (*core.Result
 
 	if err := c.cfg.Faults.Fire(fault.PointMerge); err != nil {
 		for i := range bounds {
-			if bounds[i].eng != nil {
-				bounds[i].sh.release(bounds[i].eng)
+			if bounds[i].bounds != nil {
+				bounds[i].bounds.Release()
 			}
 		}
 		return nil, nil, err
@@ -286,7 +331,7 @@ func (c *Coordinator) Query(ctx context.Context, r float64, k int) (*core.Result
 // boundShard drives one shard's bound phase: breaker-gated attempts
 // with per-attempt deadlines, jittered-backoff retries, and one hedged
 // attempt if the first straggles. The first success wins; a reaper
-// drains losing attempts and returns their engines to the pool.
+// drains losing attempts and releases their bounds.
 func (c *Coordinator) boundShard(ctx context.Context, sh *Shard, r float64, k int) shardBound {
 	out := shardBound{sh: sh}
 	budget := 1 + c.cfg.Retries // sequential attempts; hedge is extra
@@ -317,14 +362,14 @@ func (c *Coordinator) boundShard(ctx context.Context, sh *Shard, r float64, k in
 	}()
 
 	finish := func(win attemptRes) shardBound {
-		out.set, out.eng, out.err = win.set, win.eng, win.err
+		out.bounds, out.err = win.bounds, win.err
 		if outstanding > 0 {
 			// Losing attempts are still running; drain them off-path so
-			// their engine slots return to the pool.
+			// their resources (engine slots, remote handles) come back.
 			go func(pending int) {
 				for i := 0; i < pending; i++ {
-					if late := <-resCh; late.eng != nil {
-						sh.release(late.eng)
+					if late := <-resCh; late.bounds != nil {
+						late.bounds.Release()
 					}
 				}
 			}(outstanding)
@@ -375,49 +420,44 @@ func (c *Coordinator) boundShard(ctx context.Context, sh *Shard, r float64, k in
 	}
 }
 
-// attempt runs one breaker-gated bound attempt on a pooled engine. A
-// panic anywhere inside (fault injection or the engine itself)
-// quarantines the engine — its slot is refilled from the shard
-// template — and converts to an error so the retry loop stays alive.
-func (c *Coordinator) attempt(ctx context.Context, sh *Shard, r float64, k int) (res attemptRes) {
+// attempt runs one breaker-gated bound attempt against the shard's
+// backend. Backends convert panics to errors, so only bookkeeping
+// lives here: breaker charging (refusals and pool exhaustion exempt),
+// per-class failure counters, and the degradation envelope.
+func (c *Coordinator) attempt(ctx context.Context, sh *Shard, r float64, k int) attemptRes {
 	if retry, ok := sh.br.Allow(); !ok {
 		// Refused, not failed: the breaker's own bookkeeping must not
 		// see refusals or it would never half-open.
 		return attemptRes{err: fmt.Errorf("shard %d: %w (retry in %s)", sh.id, ErrBreakerOpen, retry.Round(time.Millisecond))}
 	}
-	eng, err := sh.acquire(ctx)
-	if err != nil {
-		return attemptRes{err: err}
-	}
-	t0 := time.Now()
-	defer func() {
-		if p := recover(); p != nil {
-			sh.quarantine(eng)
-			sh.br.Failure()
-			perr := fmt.Errorf("shard %d: panic: %v", sh.id, p)
-			sh.noteError(perr)
-			res = attemptRes{err: perr}
-		}
-	}()
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	if err := c.cfg.Faults.Fire(fault.PointShardRun); err != nil {
-		sh.release(eng)
-		sh.br.Failure()
-		sh.noteError(err)
-		return attemptRes{err: err}
-	}
-	set, err := eng.Bound(actx, r, k, sh.primary)
+	t0 := time.Now()
+	b, err := sh.backend.Bound(actx, r, k)
 	c.m.Scatter.Observe(time.Since(t0))
 	if err != nil {
-		sh.release(eng)
-		sh.br.Failure()
+		if errors.Is(err, errNoSlot) {
+			// The shard is busy, not broken: no breaker charge, no
+			// health note — the caller's admission control is at fault.
+			return attemptRes{err: err}
+		}
+		switch {
+		case errors.Is(err, ErrStaleGeneration):
+			c.m.Stale.Inc()
+		case errors.Is(err, ErrBadResponse):
+			c.m.Bad.Inc()
+		}
+		if !errors.Is(err, ErrUnreachable) {
+			// Prober-refused attempts never reached the worker; charging
+			// the breaker too would double-count one failure signal.
+			sh.br.Failure()
+		}
 		sh.noteError(err)
 		return attemptRes{err: err}
 	}
 	sh.br.Success()
-	sh.recordEnvelope(r, set.MaxUB())
-	return attemptRes{set: set, eng: eng}
+	sh.recordEnvelope(r, b.MaxUB())
+	return attemptRes{bounds: b}
 }
 
 // gather merges the per-shard bound outcomes: computes the global
@@ -447,14 +487,14 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 		if b.hedged {
 			rep.Hedges++
 		}
-		if b.set == nil {
+		if b.bounds == nil {
 			run.State = StateDown
 			if b.err != nil {
 				run.Err = b.err.Error()
 			}
 			continue
 		}
-		infos[i] = boundInfo{tops: b.set.TopLBs(), maxUB: b.set.MaxUB()}
+		infos[i] = boundInfo{tops: b.bounds.TopLBs(), maxUB: b.bounds.MaxUB()}
 		run.MaxUB = infos[i].maxUB
 		if len(infos[i].tops) > 0 {
 			run.BestLB = infos[i].tops[0].Score
@@ -476,16 +516,22 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 	// Prune, then complete the survivors concurrently.
 	var wg sync.WaitGroup
 	results := make([]*core.Result, len(bounds))
+	stats := make([]core.PhaseStats, len(bounds))
+	haveStats := make([]bool, len(bounds))
 	errs := make([]error, len(bounds))
 	for i := range bounds {
 		b := &bounds[i]
-		if b.set == nil {
+		if b.bounds == nil {
 			continue
 		}
 		if infos[i].maxUB < floor {
 			rep.PerShard[i].State = StatePruned
 			rep.Pruned++
-			b.sh.release(b.eng)
+			// Cannot hold an answer, but its bound-phase work counts;
+			// snapshot the stats before the release invalidates them.
+			stats[i] = b.bounds.Stats()
+			haveStats[i] = true
+			b.bounds.Release()
 			continue
 		}
 		wg.Add(1)
@@ -499,7 +545,7 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 	// Assemble: exact lists from completed shards, certified bounds
 	// from the rest.
 	var lists [][]core.Scored
-	var stats []core.PhaseStats
+	var allStats []core.PhaseStats
 	degraded := false
 	lbBest := core.Scored{Obj: -1}
 	ub := 0
@@ -513,10 +559,11 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 		run := &rep.PerShard[i]
 		switch {
 		case run.State == StatePruned:
-			// Cannot hold an answer, but its bound-phase work counts.
-			stats = append(stats, b.set.Stats())
+			if haveStats[i] {
+				allStats = append(allStats, stats[i])
+			}
 			bumpUB(infos[i].maxUB)
-		case b.set == nil:
+		case b.bounds == nil:
 			degraded = true
 			rep.Failed++
 			c.m.Downs.Inc()
@@ -535,28 +582,25 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 			// Its bounds are still certified: best primary scores in
 			// [BestLB, MaxUB].
 			bumpUB(infos[i].maxUB)
-			if len(infos[i].tops) > 0 {
-				if cand := mapLocalBest(b.sh, infos[i].tops[0]); better(cand, lbBest) {
-					lbBest = cand
-				}
+			if len(infos[i].tops) > 0 && better(infos[i].tops[0], lbBest) {
+				lbBest = infos[i].tops[0]
 			}
 		default:
 			run.State = StateOK
 			res := results[i]
-			stats = append(stats, res.Stats)
-			list := toGlobal(b.sh.global, res.TopK)
-			lists = append(lists, list)
-			if len(list) > 0 {
-				bumpUB(list[0].Score)
-				if better(list[0], lbBest) {
-					lbBest = list[0]
+			allStats = append(allStats, res.Stats)
+			lists = append(lists, res.TopK)
+			if len(res.TopK) > 0 {
+				bumpUB(res.TopK[0].Score)
+				if better(res.TopK[0], lbBest) {
+					lbBest = res.TopK[0]
 				}
 			}
 		}
 	}
 
 	merged := mergeTopK(lists, k)
-	out := &core.Result{TopK: merged, Stats: mergeStats(stats)}
+	out := &core.Result{TopK: merged, Stats: mergeStats(allStats)}
 	if !degraded {
 		if len(merged) > 0 {
 			out.Best = merged[0]
@@ -579,34 +623,18 @@ func (c *Coordinator) gather(ctx context.Context, r float64, k int, bounds []sha
 }
 
 // complete runs a shard's verification against the merged floor with
-// the same deadline, panic-quarantine and error discipline as the
-// bound attempts. It always returns the engine to the pool.
-func (c *Coordinator) complete(ctx context.Context, b *shardBound, floor int) (res *core.Result, err error) {
-	sh := b.sh
-	eng := b.eng
-	released := false
-	defer func() {
-		if p := recover(); p != nil {
-			sh.quarantine(eng)
-			sh.br.Failure()
-			err = fmt.Errorf("shard %d: panic: %v", sh.id, p)
-			res = nil
-			return
-		}
-		if !released {
-			sh.release(eng)
-		}
-	}()
+// the same per-attempt deadline and breaker discipline as the bound
+// attempts. Backends own resource return (engine slots, remote
+// handles) and panic conversion.
+func (c *Coordinator) complete(ctx context.Context, b *shardBound, floor int) (*core.Result, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	r, cerr := b.set.Complete(actx, floor)
-	sh.release(eng)
-	released = true
-	if cerr != nil {
-		sh.br.Failure()
-		return nil, cerr
+	r, err := b.bounds.Complete(actx, floor)
+	if err != nil {
+		b.sh.br.Failure()
+		return nil, err
 	}
-	sh.br.Success()
+	b.sh.br.Success()
 	return r, nil
 }
 
@@ -616,11 +644,6 @@ func better(a, b core.Scored) bool {
 		return true
 	}
 	return canonicalLess(a, b)
-}
-
-// mapLocalBest maps a shard-local best candidate to its global id.
-func mapLocalBest(sh *Shard, s core.Scored) core.Scored {
-	return core.Scored{Obj: int(sh.global[s.Obj]), Score: s.Score}
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/fault"
+)
+
+// localBackend is the in-process shard transport: a small engine pool
+// with panic quarantine over the shard's local dataset. It is the PR 8
+// execution path, unchanged in behaviour — the engine runs, quarantine
+// discipline and local→global mapping all live here now so the
+// coordinator can drive remote workers through the same interface.
+type localBackend struct {
+	id      int
+	ds      *data.Dataset
+	global  []int32 // local id → global id
+	primary []bool
+	opts    core.Options // engine template (per-shard label store)
+	faults  *fault.Registry
+
+	slots chan *core.Engine
+}
+
+func newLocalBackend(id, pool int, ds *data.Dataset, global []int32, primary []bool, opts core.Options) (*localBackend, error) {
+	lb := &localBackend{
+		id:      id,
+		ds:      ds,
+		global:  global,
+		primary: primary,
+		opts:    opts,
+		faults:  opts.Faults,
+		slots:   make(chan *core.Engine, pool),
+	}
+	for i := 0; i < pool; i++ {
+		e, err := core.NewEngine(ds, opts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+		lb.slots <- e
+	}
+	return lb, nil
+}
+
+// acquire takes an engine slot, waiting on ctx.
+func (lb *localBackend) acquire(ctx context.Context) (*core.Engine, error) {
+	select {
+	case e := <-lb.slots:
+		return e, nil
+	default:
+	}
+	select {
+	case e := <-lb.slots:
+		return e, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("shard %d: %w: %w", lb.id, errNoSlot, ctx.Err())
+	}
+}
+
+// release returns an engine to the pool.
+func (lb *localBackend) release(e *core.Engine) { lb.slots <- e }
+
+// quarantine discards a panicked engine and refills its slot with a
+// fresh one built from the shard's template — the same refill
+// discipline the server pool uses. If the rebuild fails the suspect
+// engine goes back: a possibly-tainted engine beats a leaked slot.
+func (lb *localBackend) quarantine(old *core.Engine) {
+	e, err := core.NewEngine(lb.ds, lb.opts)
+	if err != nil {
+		lb.slots <- old
+		return
+	}
+	lb.slots <- e
+}
+
+// Bound acquires an engine and runs the bound phase restricted to the
+// shard's primaries. A panic anywhere inside (fault injection or the
+// engine itself) quarantines the engine — its slot is refilled from
+// the template — and converts to an error so the coordinator's retry
+// loop stays alive.
+func (lb *localBackend) Bound(ctx context.Context, r float64, k int) (b Bounds, err error) {
+	eng, aerr := lb.acquire(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			lb.quarantine(eng)
+			b, err = nil, fmt.Errorf("shard %d: panic: %v", lb.id, p)
+		}
+	}()
+	if ferr := lb.faults.Fire(fault.PointShardRun); ferr != nil {
+		lb.release(eng)
+		return nil, ferr
+	}
+	set, rerr := eng.Bound(ctx, r, k, lb.primary)
+	if rerr != nil {
+		lb.release(eng)
+		return nil, rerr
+	}
+	return &localBounds{lb: lb, set: set, eng: eng}, nil
+}
+
+func (lb *localBackend) Info() BackendInfo {
+	prim := 0
+	for _, p := range lb.primary {
+		if p {
+			prim++
+		}
+	}
+	return BackendInfo{
+		Objects:   len(lb.global),
+		Primaries: prim,
+		Replicas:  len(lb.global) - prim,
+	}
+}
+
+func (lb *localBackend) Close() {}
+
+// localBounds is a paused in-process query: the BoundSet plus the
+// engine it is tied to.
+type localBounds struct {
+	lb  *localBackend
+	set *core.BoundSet
+	eng *core.Engine
+}
+
+// TopLBs maps the shard-local canonical top LBs to global ids. The
+// mapping is order-preserving: Members[s] is ascending, so local-id
+// ties break exactly as global-id ties would.
+func (b *localBounds) TopLBs() []core.Scored { return toGlobal(b.lb.global, b.set.TopLBs()) }
+
+func (b *localBounds) MaxUB() int { return b.set.MaxUB() }
+
+func (b *localBounds) Stats() core.PhaseStats { return b.set.Stats() }
+
+func (b *localBounds) Release() { b.lb.release(b.eng) }
+
+// Complete resumes verification with the same panic-quarantine
+// discipline as Bound and always returns the engine to the pool.
+func (b *localBounds) Complete(ctx context.Context, floor int) (res *core.Result, err error) {
+	released := false
+	defer func() {
+		if p := recover(); p != nil {
+			b.lb.quarantine(b.eng)
+			res, err = nil, fmt.Errorf("shard %d: panic: %v", b.lb.id, p)
+			return
+		}
+		if !released {
+			b.lb.release(b.eng)
+		}
+	}()
+	r, cerr := b.set.Complete(ctx, floor)
+	b.lb.release(b.eng)
+	released = true
+	if cerr != nil {
+		return nil, cerr
+	}
+	r.TopK = toGlobal(b.lb.global, r.TopK)
+	if len(r.TopK) > 0 {
+		r.Best = r.TopK[0]
+	}
+	return r, nil
+}

@@ -1,0 +1,384 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/durable"
+	"mio/internal/fault"
+	"mio/internal/shard"
+)
+
+// releaseTimeout bounds the best-effort release round trip a pruned
+// shard's bounds fire off-path.
+const releaseTimeout = 2 * time.Second
+
+// ClientConfig configures one remote shard client.
+type ClientConfig struct {
+	// Addr is the worker's base URL (e.g. "http://10.0.0.7:7001").
+	Addr string
+	// Stamp is the exact stamp every response must carry: the dataset
+	// generation the coordinator computed from its own copy of the
+	// data, plus this worker's partition slot.
+	Stamp Stamp
+	// Objects is the global object count n; response ids and scores
+	// are range-checked against it.
+	Objects int
+	// ProbeInterval / ProbeTimeout drive the background health prober.
+	// Defaults 1s / 1s.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// DownAfter is how many consecutive failures (probe or query) mark
+	// the worker down; until then it is suspect. Default 3.
+	DownAfter int
+	// MaxResponseBytes caps response reads. Default
+	// DefaultMaxResponseBytes.
+	MaxResponseBytes int64
+	// Faults, when non-nil, drives the client-side injection points
+	// (net_send, net_recv).
+	Faults *fault.Registry
+	// HTTPClient overrides the transport (tests); per-request contexts
+	// carry the deadlines, so it needs no global timeout.
+	HTTPClient *http.Client
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = DefaultMaxResponseBytes
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	}
+	return c
+}
+
+// Client drives one remote shard worker and implements shard.Backend:
+// the coordinator's retry/hedge/breaker machinery calls it exactly
+// like an in-process engine pool. Every response is size-capped,
+// envelope-checked, strictly decoded, stamp-verified and
+// range-validated before a byte of it reaches the merge.
+type Client struct {
+	cfg ClientConfig
+
+	mu        sync.Mutex
+	state     string // ProbeUp / ProbeSuspect / ProbeDown
+	fails     int    // consecutive probe/query failures
+	lastErr   string
+	lastProbe time.Time // zero: never probed
+	objects   int       // from the last good /shardz
+	primaries int
+	replicas  int
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewClient builds a client for one worker and starts its health
+// prober. The worker starts as suspect — attempts are allowed (the
+// breaker absorbs early failures) but the shard is not yet trusted as
+// up — and transitions on the first probe or query.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg:   cfg,
+		state: shard.ProbeSuspect,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go c.probeLoop()
+	return c
+}
+
+// Close stops the health prober. Idempotent; in-flight calls finish.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Info snapshots the prober's view for /healthz.
+func (c *Client) Info() shard.BackendInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ago := time.Duration(-1)
+	if !c.lastProbe.IsZero() {
+		ago = time.Since(c.lastProbe)
+	}
+	return shard.BackendInfo{
+		Objects:      c.objects,
+		Primaries:    c.primaries,
+		Replicas:     c.replicas,
+		Addr:         c.cfg.Addr,
+		Generation:   c.cfg.Stamp.Generation,
+		State:        c.state,
+		LastProbeErr: c.lastErr,
+		LastProbeAgo: ago,
+	}
+}
+
+// Bound runs the worker's bound phase. When the prober considers the
+// worker down it fast-fails without a round trip; the prober, not the
+// query path, is then responsible for noticing recovery.
+func (c *Client) Bound(ctx context.Context, r float64, k int) (shard.Bounds, error) {
+	if st, lastErr := c.snapshotState(); st == shard.ProbeDown {
+		return nil, fmt.Errorf("%w: %s (last error: %s)", shard.ErrUnreachable, c.cfg.Addr, lastErr)
+	}
+	payload, err := c.post(ctx, PathBound, BoundRequest{R: r, K: k})
+	if err != nil {
+		c.noteFailure(err)
+		return nil, err
+	}
+	var resp BoundResponse
+	if err := decodeStrict(payload, &resp); err != nil {
+		err = fmt.Errorf("%w: %s: %v", shard.ErrBadResponse, c.cfg.Addr, err)
+		c.noteFailure(err)
+		return nil, err
+	}
+	if err := checkBoundResponse(&resp, c.cfg.Stamp, k, c.cfg.Objects); err != nil {
+		c.noteFailure(err)
+		return nil, err
+	}
+	c.noteSuccess()
+	return &remoteBounds{c: c, resp: resp, k: k}, nil
+}
+
+// post sends a strict-JSON request and returns the validated envelope
+// payload of a 200 response. Network failures, non-200 statuses,
+// oversized bodies and corrupt envelopes all come back as errors; the
+// injected net_send/net_recv points fail the exchange at the
+// respective boundary.
+func (c *Client) post(ctx context.Context, path string, body any) ([]byte, error) {
+	if err := c.cfg.Faults.Fire(fault.PointNetSend); err != nil {
+		return nil, fmt.Errorf("%s%s: send: %w", c.cfg.Addr, path, err)
+	}
+	reqBody, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.Addr+path, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s%s: %w", c.cfg.Addr, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s%s: read: %w", c.cfg.Addr, path, err)
+	}
+	if err := c.cfg.Faults.Fire(fault.PointNetRecv); err != nil {
+		return nil, fmt.Errorf("%s%s: recv: %w", c.cfg.Addr, path, err)
+	}
+	if int64(len(data)) > c.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("%w: %s%s: response exceeds %d bytes", shard.ErrBadResponse, c.cfg.Addr, path, c.cfg.MaxResponseBytes)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		if jerr := json.Unmarshal(data, &we); jerr == nil && we.Error != "" {
+			return nil, fmt.Errorf("%s%s: worker answered %d: %s", c.cfg.Addr, path, resp.StatusCode, we.Error)
+		}
+		return nil, fmt.Errorf("%s%s: worker answered %d", c.cfg.Addr, path, resp.StatusCode)
+	}
+	payload, err := durable.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s%s: %v", shard.ErrBadResponse, c.cfg.Addr, path, err)
+	}
+	return payload, nil
+}
+
+// snapshotState reads the prober state without holding the lock across
+// any I/O.
+func (c *Client) snapshotState() (string, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state, c.lastErr
+}
+
+// noteSuccess records a healthy exchange: the worker is up and the
+// failure streak resets.
+func (c *Client) noteSuccess() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = shard.ProbeUp
+	c.fails = 0
+	c.lastErr = ""
+}
+
+// noteFailure records a failed exchange. Stale generations mark the
+// worker down immediately — it is serving the wrong data, and no
+// amount of retrying fixes that — while ordinary failures walk the
+// up → suspect → down ladder.
+func (c *Client) noteFailure(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastErr = err.Error()
+	if isStale(err) {
+		c.state = shard.ProbeDown
+		c.fails = c.cfg.DownAfter
+		return
+	}
+	c.fails++
+	if c.fails >= c.cfg.DownAfter {
+		c.state = shard.ProbeDown
+	} else {
+		c.state = shard.ProbeSuspect
+	}
+}
+
+func isStale(err error) bool {
+	for e := err; e != nil; {
+		if e == shard.ErrStaleGeneration {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// probeLoop polls /shardz until Close. A successful probe with a
+// matching stamp flips the worker (back) to up — including recovery
+// from a stale generation after a correct redeploy.
+func (c *Client) probeLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	c.probeOnce()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeOnce()
+		}
+	}
+}
+
+func (c *Client) probeOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := c.fetchShardz(ctx)
+	c.mu.Lock()
+	c.lastProbe = time.Now()
+	c.mu.Unlock()
+	if err != nil {
+		c.noteFailure(err)
+		return
+	}
+	c.mu.Lock()
+	c.objects = resp.Objects
+	c.primaries = resp.Primaries
+	c.replicas = resp.Replicas
+	c.mu.Unlock()
+	c.noteSuccess()
+}
+
+// fetchShardz reads and validates one /shardz snapshot.
+func (c *Client) fetchShardz(ctx context.Context) (*ShardzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.Addr+PathShardz, nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s%s: %w", c.cfg.Addr, PathShardz, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, c.cfg.MaxResponseBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s%s: read: %w", c.cfg.Addr, PathShardz, err)
+	}
+	if int64(len(data)) > c.cfg.MaxResponseBytes {
+		return nil, fmt.Errorf("%w: %s%s: response exceeds %d bytes", shard.ErrBadResponse, c.cfg.Addr, PathShardz, c.cfg.MaxResponseBytes)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s%s: worker answered %d", c.cfg.Addr, PathShardz, hresp.StatusCode)
+	}
+	payload, err := durable.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s%s: %v", shard.ErrBadResponse, c.cfg.Addr, PathShardz, err)
+	}
+	var resp ShardzResponse
+	if err := decodeStrict(payload, &resp); err != nil {
+		return nil, fmt.Errorf("%w: %s%s: %v", shard.ErrBadResponse, c.cfg.Addr, PathShardz, err)
+	}
+	if err := checkShardz(&resp, c.cfg.Objects); err != nil {
+		return nil, err
+	}
+	if err := checkStamp(resp.Stamp, c.cfg.Stamp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// remoteBounds is a paused bound phase living on the worker, addressed
+// by its handle.
+type remoteBounds struct {
+	c    *Client
+	resp BoundResponse
+	k    int
+}
+
+func (b *remoteBounds) TopLBs() []core.Scored  { return b.resp.TopLBs }
+func (b *remoteBounds) MaxUB() int             { return b.resp.MaxUB }
+func (b *remoteBounds) Stats() core.PhaseStats { return b.resp.Stats }
+
+// Complete resumes the worker-side verification against floor. The
+// response passes the same validation gauntlet as the bound response.
+func (b *remoteBounds) Complete(ctx context.Context, floor int) (*core.Result, error) {
+	payload, err := b.c.post(ctx, PathComplete, CompleteRequest{Handle: b.resp.Handle, Floor: floor})
+	if err != nil {
+		b.c.noteFailure(err)
+		return nil, err
+	}
+	var resp CompleteResponse
+	if err := decodeStrict(payload, &resp); err != nil {
+		err = fmt.Errorf("%w: %s: %v", shard.ErrBadResponse, b.c.cfg.Addr, err)
+		b.c.noteFailure(err)
+		return nil, err
+	}
+	if err := checkCompleteResponse(&resp, b.c.cfg.Stamp, b.k, b.c.cfg.Objects); err != nil {
+		b.c.noteFailure(err)
+		return nil, err
+	}
+	b.c.noteSuccess()
+	res := &core.Result{TopK: resp.TopK, Stats: resp.Stats}
+	if len(res.TopK) > 0 {
+		res.Best = res.TopK[0]
+	}
+	return res, nil
+}
+
+// Release abandons the worker-side handle, best-effort and off the
+// query path: the gather loop must not stall on a round trip whose
+// only purpose is returning an engine slot a little earlier than the
+// worker's TTL reaper would.
+func (b *remoteBounds) Release() {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), releaseTimeout)
+		defer cancel()
+		_, _ = b.c.post(ctx, PathRelease, ReleaseRequest{Handle: b.resp.Handle})
+	}()
+}

@@ -1,0 +1,686 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/data"
+	"mio/internal/durable"
+	"mio/internal/fault"
+	"mio/internal/shard"
+)
+
+// ---------- harness ----------
+
+// startWorker stands one shard worker up behind an httptest server,
+// optionally wrapping its handler (hostile-response tests).
+func startWorker(t *testing.T, ds *data.Dataset, idx, shards int, maxR float64, wcfg WorkerConfig, wrap func(http.Handler) http.Handler) (*Worker, *httptest.Server) {
+	t.Helper()
+	wcfg.Index, wcfg.Shards, wcfg.MaxR = idx, shards, maxR
+	w, err := NewWorker(ds, core.Options{}, wcfg)
+	if err != nil {
+		t.Fatalf("NewWorker(%d/%d): %v", idx, shards, err)
+	}
+	h := http.Handler(w.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); w.Close() })
+	return w, srv
+}
+
+// remoteCluster builds a full remote coordinator: one worker+server per
+// shard, one hardened client per worker, assembled via NewWithBackends.
+// wraps[i] mangles worker i's handler; tweak edits client i's config.
+func remoteCluster(t *testing.T, ds *data.Dataset, shards int, maxR float64, cfg shard.Config,
+	wraps map[int]func(http.Handler) http.Handler, tweak func(i int, cc *ClientConfig)) *shard.Coordinator {
+	t.Helper()
+	gen := Generation(Fingerprint(ds), shards, maxR)
+	backends := make([]shard.Backend, shards)
+	for i := 0; i < shards; i++ {
+		_, srv := startWorker(t, ds, i, shards, maxR, WorkerConfig{}, wraps[i])
+		cc := ClientConfig{
+			Addr:          srv.URL,
+			Stamp:         Stamp{Generation: gen, Shard: i, Shards: shards},
+			Objects:       ds.N(),
+			ProbeInterval: 25 * time.Millisecond,
+			ProbeTimeout:  500 * time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(i, &cc)
+		}
+		backends[i] = NewClient(cc)
+	}
+	cfg.MaxR = maxR
+	co, err := shard.NewWithBackends(backends, ds.N(), cfg)
+	if err != nil {
+		t.Fatalf("NewWithBackends: %v", err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+func oracleRun(t *testing.T, ds *data.Dataset, r float64, k int) *core.Result {
+	t.Helper()
+	e, err := core.NewEngine(ds, core.Options{})
+	if err != nil {
+		t.Fatalf("oracle engine: %v", err)
+	}
+	res, err := e.RunTopK(r, k)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	return res
+}
+
+func sameScored(a, b []core.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mangleBound rewrites the body of every 200 bound response; other
+// paths (probes, complete, release) pass through untouched.
+func mangleBound(f func(body []byte) []byte) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != PathBound {
+				inner.ServeHTTP(w, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code == http.StatusOK {
+				body = f(body)
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(body)
+		})
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// ---------- healthy-cluster parity ----------
+
+// TestRemoteParityWithOracle is the acceptance sweep: a healthy
+// multi-process cluster must answer bitwise-identically to the
+// in-process sharded coordinator — deterministic work counters
+// included — and exactly match the single-engine oracle.
+func TestRemoteParityWithOracle(t *testing.T) {
+	ds := uniformDS(160, 1)
+	const maxR = 8.0
+	ctx := context.Background()
+	for _, shards := range []int{2, 3} {
+		local, err := shard.New(ds, core.Options{}, shard.Config{Shards: shards, MaxR: maxR})
+		if err != nil {
+			t.Fatalf("shards=%d: local coordinator: %v", shards, err)
+		}
+		rem := remoteCluster(t, ds, shards, maxR, shard.Config{}, nil, nil)
+		for _, r := range []float64{2, 4} {
+			for _, k := range []int{1, 3, 7} {
+				want := oracleRun(t, ds, r, k)
+				lres, _, lerr := local.Query(ctx, r, k)
+				if lerr != nil {
+					t.Fatalf("shards=%d r=%g k=%d: local query: %v", shards, r, k, lerr)
+				}
+				rres, rrep, rerr := rem.Query(ctx, r, k)
+				if rerr != nil {
+					t.Fatalf("shards=%d r=%g k=%d: remote query: %v", shards, r, k, rerr)
+				}
+				if rres.Degraded || rrep.Failed != 0 {
+					t.Fatalf("shards=%d r=%g k=%d: healthy cluster degraded: %+v", shards, r, k, rrep)
+				}
+				if !sameScored(rres.TopK, want.TopK) {
+					t.Errorf("shards=%d r=%g k=%d: TopK %v != oracle %v", shards, r, k, rres.TopK, want.TopK)
+				}
+				if rres.Best != want.Best {
+					t.Errorf("shards=%d r=%g k=%d: Best %v != oracle %v", shards, r, k, rres.Best, want.Best)
+				}
+				// The transport must not change the computation: the
+				// deterministic work counters match the in-process
+				// sharded run exactly.
+				if rres.Stats.DistanceComps != lres.Stats.DistanceComps ||
+					rres.Stats.Candidates != lres.Stats.Candidates ||
+					rres.Stats.Verified != lres.Stats.Verified {
+					t.Errorf("shards=%d r=%g k=%d: work counters diverge: remote {dc=%d cand=%d ver=%d} local {dc=%d cand=%d ver=%d}",
+						shards, r, k,
+						rres.Stats.DistanceComps, rres.Stats.Candidates, rres.Stats.Verified,
+						lres.Stats.DistanceComps, lres.Stats.Candidates, lres.Stats.Verified)
+				}
+				// And it is reproducible: a second remote run does the
+				// same work.
+				rres2, _, rerr2 := rem.Query(ctx, r, k)
+				if rerr2 != nil {
+					t.Fatalf("shards=%d r=%g k=%d: remote rerun: %v", shards, r, k, rerr2)
+				}
+				if rres2.Stats.DistanceComps != rres.Stats.DistanceComps {
+					t.Errorf("shards=%d r=%g k=%d: DistanceComps not deterministic: %d then %d",
+						shards, r, k, rres.Stats.DistanceComps, rres2.Stats.DistanceComps)
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteHealth: /healthz's per-shard rows carry the remote
+// transport's identity — address, expected generation, prober state.
+func TestRemoteHealth(t *testing.T) {
+	ds := uniformDS(80, 2)
+	const maxR = 8.0
+	co := remoteCluster(t, ds, 2, maxR, shard.Config{}, nil, nil)
+	gen := Generation(Fingerprint(ds), 2, maxR)
+	waitFor(t, 2*time.Second, "both workers probed up", func() bool {
+		for _, h := range co.Health() {
+			if h.State != shard.ProbeUp {
+				return false
+			}
+		}
+		return true
+	})
+	for _, h := range co.Health() {
+		if h.Addr == "" {
+			t.Errorf("shard %d: no addr in health row", h.ID)
+		}
+		if h.Generation != gen {
+			t.Errorf("shard %d: health generation %d, want %d", h.ID, h.Generation, gen)
+		}
+		if h.Objects <= 0 {
+			t.Errorf("shard %d: health objects %d, want > 0 (from /shardz)", h.ID, h.Objects)
+		}
+	}
+}
+
+// ---------- hostile responses ----------
+
+// TestHostileResponsesDegrade is satellite 3's table: every class of
+// broken worker response must turn into shard-down degradation — a
+// 200-path answer whose certified interval contains the oracle score —
+// and never a panic or a silent merge of unvalidated data.
+func TestHostileResponsesDegrade(t *testing.T) {
+	ds := uniformDS(120, 4)
+	const (
+		shards = 3
+		maxR   = 8.0
+		r      = 3.0
+		k      = 3
+	)
+	gen := Generation(Fingerprint(ds), shards, maxR)
+	stamp := Stamp{Generation: gen, Shard: 1, Shards: shards}
+	seal := func(resp BoundResponse) []byte {
+		b, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return durable.Seal(b)
+	}
+	want := oracleRun(t, ds, r, k)
+
+	cases := []struct {
+		name      string
+		mangle    func(body []byte) []byte
+		tweak     func(i int, cc *ClientConfig)
+		wantStale bool
+		wantBad   bool
+	}{
+		{
+			name:    "truncated envelope",
+			mangle:  func(b []byte) []byte { return b[:len(b)/2] },
+			wantBad: true,
+		},
+		{
+			name: "corrupted payload byte",
+			mangle: func(b []byte) []byte {
+				out := append([]byte(nil), b...)
+				out[durable.EnvelopeOverhead] ^= 0x20
+				return out
+			},
+			wantBad: true,
+		},
+		{
+			name:    "bare JSON without envelope",
+			mangle:  func([]byte) []byte { return []byte(`{"stamp":{},"handle":1}`) },
+			wantBad: true,
+		},
+		{
+			name:    "unknown fields",
+			mangle:  func([]byte) []byte { return durable.Seal([]byte(`{"bogus":true}`)) },
+			wantBad: true,
+		},
+		{
+			name: "duplicate object ids",
+			mangle: func([]byte) []byte {
+				return seal(BoundResponse{Stamp: stamp, Handle: 9,
+					TopLBs: []core.Scored{{Obj: 5, Score: 4}, {Obj: 5, Score: 2}}, MaxUB: 10})
+			},
+			wantBad: true,
+		},
+		{
+			name: "canonical order broken",
+			mangle: func([]byte) []byte {
+				return seal(BoundResponse{Stamp: stamp, Handle: 9,
+					TopLBs: []core.Scored{{Obj: 2, Score: 3}, {Obj: 9, Score: 5}}, MaxUB: 10})
+			},
+			wantBad: true,
+		},
+		{
+			name: "object id out of range",
+			mangle: func([]byte) []byte {
+				return seal(BoundResponse{Stamp: stamp, Handle: 9,
+					TopLBs: []core.Scored{{Obj: ds.N(), Score: 3}}, MaxUB: 10})
+			},
+			wantBad: true,
+		},
+		{
+			name: "score outside [0,n-1]",
+			mangle: func([]byte) []byte {
+				return seal(BoundResponse{Stamp: stamp, Handle: 9,
+					TopLBs: []core.Scored{{Obj: 3, Score: ds.N()}}, MaxUB: ds.N() - 1})
+			},
+			wantBad: true,
+		},
+		{
+			name:   "oversized response",
+			mangle: func([]byte) []byte { return bytes.Repeat([]byte{'x'}, 64<<10) },
+			tweak: func(i int, cc *ClientConfig) {
+				if i == 1 {
+					cc.MaxResponseBytes = 16 << 10
+				}
+			},
+			wantBad: true,
+		},
+		{
+			name: "stale generation",
+			mangle: func([]byte) []byte {
+				st := stamp
+				st.Generation++
+				return seal(BoundResponse{Stamp: st, Handle: 9,
+					TopLBs: []core.Scored{{Obj: 3, Score: 4}}, MaxUB: 10})
+			},
+			wantStale: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			co := remoteCluster(t, ds, shards, maxR, shard.Config{},
+				map[int]func(http.Handler) http.Handler{1: mangleBound(tc.mangle)}, tc.tweak)
+			res, rep, err := co.Query(context.Background(), r, k)
+			if err != nil {
+				t.Fatalf("query must degrade, not fail: %v", err)
+			}
+			if !res.Degraded || res.Interval == nil {
+				t.Fatalf("hostile shard did not degrade the result: %+v", rep)
+			}
+			if rep.PerShard[1].State != shard.StateDown {
+				t.Fatalf("hostile shard state %q, want %q (err: %s)",
+					rep.PerShard[1].State, shard.StateDown, rep.PerShard[1].Err)
+			}
+			if res.Interval.LB > want.Best.Score || want.Best.Score > res.Interval.UB {
+				t.Fatalf("certified interval [%d,%d] does not contain oracle score %d",
+					res.Interval.LB, res.Interval.UB, want.Best.Score)
+			}
+			// Degraded partial answers must still be true scores: no
+			// unvalidated data leaked into the merge.
+			if res.Best.Score > want.Best.Score {
+				t.Fatalf("degraded best %v exceeds oracle best %v — hostile data merged", res.Best, want.Best)
+			}
+			m := co.Metrics()
+			if tc.wantStale && m.Stale.Value() == 0 {
+				t.Error("stale-generation rejection not counted in Metrics.Stale")
+			}
+			if tc.wantBad && m.Bad.Value() == 0 {
+				t.Error("invalid-response rejection not counted in Metrics.Bad")
+			}
+			// The healthy shards still answer exactly for their
+			// primaries on the next query too — the cluster keeps
+			// serving.
+			if _, _, err := co.Query(context.Background(), r, k); err != nil {
+				t.Fatalf("second query after degradation failed: %v", err)
+			}
+		})
+	}
+}
+
+// ---------- injected transport faults ----------
+
+// TestFaultPointsDegrade drives the four new injection points through
+// the -faults flag syntax and checks each one degrades the shard
+// instead of failing or poisoning the query.
+func TestFaultPointsDegrade(t *testing.T) {
+	ds := uniformDS(100, 5)
+	const (
+		shards = 3
+		maxR   = 8.0
+		r      = 3.0
+		k      = 2
+	)
+	want := oracleRun(t, ds, r, k)
+
+	check := func(t *testing.T, co *shard.Coordinator, reg *fault.Registry, point string, wantCounter func(*shard.Metrics) uint64) {
+		t.Helper()
+		res, rep, err := co.Query(context.Background(), r, k)
+		if err != nil {
+			t.Fatalf("query must degrade, not fail: %v", err)
+		}
+		if !res.Degraded || res.Interval == nil {
+			t.Fatalf("fault at %s did not degrade: %+v", point, rep)
+		}
+		if res.Interval.LB > want.Best.Score || want.Best.Score > res.Interval.UB {
+			t.Fatalf("interval [%d,%d] misses oracle score %d", res.Interval.LB, res.Interval.UB, want.Best.Score)
+		}
+		if reg.Fired(point) == 0 {
+			t.Fatalf("injection point %s never fired", point)
+		}
+		if wantCounter != nil && wantCounter(co.Metrics()) == 0 {
+			t.Errorf("fault at %s not counted in coordinator metrics", point)
+		}
+	}
+
+	t.Run("client net_send", func(t *testing.T) {
+		reg, err := fault.Parse(fault.PointNetSend + "=error:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := remoteCluster(t, ds, shards, maxR, shard.Config{}, nil, func(i int, cc *ClientConfig) {
+			if i == 1 {
+				cc.Faults = reg
+			}
+		})
+		check(t, co, reg, fault.PointNetSend, nil)
+	})
+
+	t.Run("client net_recv", func(t *testing.T) {
+		reg, err := fault.Parse(fault.PointNetRecv + "=error:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := remoteCluster(t, ds, shards, maxR, shard.Config{}, nil, func(i int, cc *ClientConfig) {
+			if i == 1 {
+				cc.Faults = reg
+			}
+		})
+		check(t, co, reg, fault.PointNetRecv, nil)
+	})
+
+	t.Run("worker net_corrupt", func(t *testing.T) {
+		reg, err := fault.Parse(fault.PointNetCorrupt + "=error:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := Generation(Fingerprint(ds), shards, maxR)
+		backends := make([]shard.Backend, shards)
+		for i := 0; i < shards; i++ {
+			wcfg := WorkerConfig{}
+			if i == 1 {
+				wcfg.Faults = reg
+			}
+			_, srv := startWorker(t, ds, i, shards, maxR, wcfg, nil)
+			backends[i] = NewClient(ClientConfig{
+				Addr:          srv.URL,
+				Stamp:         Stamp{Generation: gen, Shard: i, Shards: shards},
+				Objects:       ds.N(),
+				ProbeInterval: 25 * time.Millisecond,
+			})
+		}
+		co, err := shard.NewWithBackends(backends, ds.N(), shard.Config{MaxR: maxR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(co.Close)
+		check(t, co, reg, fault.PointNetCorrupt, func(m *shard.Metrics) uint64 { return m.Bad.Value() })
+	})
+
+	t.Run("worker stale_gen", func(t *testing.T) {
+		reg, err := fault.Parse(fault.PointStaleGen + "=error:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := Generation(Fingerprint(ds), shards, maxR)
+		backends := make([]shard.Backend, shards)
+		var flapping *Client
+		for i := 0; i < shards; i++ {
+			wcfg := WorkerConfig{}
+			if i == 1 {
+				wcfg.Faults = reg
+			}
+			_, srv := startWorker(t, ds, i, shards, maxR, wcfg, nil)
+			c := NewClient(ClientConfig{
+				Addr:          srv.URL,
+				Stamp:         Stamp{Generation: gen, Shard: i, Shards: shards},
+				Objects:       ds.N(),
+				ProbeInterval: 25 * time.Millisecond,
+			})
+			if i == 1 {
+				flapping = c
+			}
+			backends[i] = c
+		}
+		co, err := shard.NewWithBackends(backends, ds.N(), shard.Config{MaxR: maxR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(co.Close)
+		check(t, co, reg, fault.PointStaleGen, func(m *shard.Metrics) uint64 { return m.Stale.Value() })
+		// A stale generation is not a transient: the client marks the
+		// worker down immediately instead of retrying it to death.
+		if st := flapping.Info().State; st != shard.ProbeDown {
+			t.Errorf("stale worker state %q, want %q", st, shard.ProbeDown)
+		}
+	})
+}
+
+// ---------- prober lifecycle ----------
+
+// deadSwitch wraps a handler with a kill switch: while dead, every
+// request answers 502, probes included.
+type deadSwitch struct {
+	mu    sync.Mutex
+	dead  bool
+	inner http.Handler
+}
+
+func (d *deadSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	dead := d.dead
+	d.mu.Unlock()
+	if dead {
+		http.Error(w, "gone", http.StatusBadGateway)
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+func (d *deadSwitch) set(dead bool) {
+	d.mu.Lock()
+	d.dead = dead
+	d.mu.Unlock()
+}
+
+// TestProberLifecycle: consecutive probe failures walk the worker to
+// down, down workers fast-fail without a round trip, and a succeeding
+// probe brings the worker back up.
+func TestProberLifecycle(t *testing.T) {
+	ds := uniformDS(60, 6)
+	const (
+		shards = 2
+		maxR   = 8.0
+	)
+	w, err := NewWorker(ds, core.Options{}, WorkerConfig{Index: 0, Shards: shards, MaxR: maxR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	ds1 := &deadSwitch{inner: w.Handler()}
+	srv := httptest.NewServer(ds1)
+	t.Cleanup(srv.Close)
+
+	gen := Generation(Fingerprint(ds), shards, maxR)
+	c := NewClient(ClientConfig{
+		Addr:          srv.URL,
+		Stamp:         Stamp{Generation: gen, Shard: 0, Shards: shards},
+		Objects:       ds.N(),
+		ProbeInterval: 15 * time.Millisecond,
+		DownAfter:     2,
+	})
+	t.Cleanup(c.Close)
+
+	waitFor(t, 2*time.Second, "initial probe to mark worker up", func() bool {
+		return c.Info().State == shard.ProbeUp
+	})
+	if _, err := c.Bound(context.Background(), 3, 2); err != nil {
+		t.Fatalf("healthy bound failed: %v", err)
+	}
+
+	ds1.set(true)
+	waitFor(t, 2*time.Second, "probes to mark worker down", func() bool {
+		return c.Info().State == shard.ProbeDown
+	})
+	if _, err := c.Bound(context.Background(), 3, 2); err == nil {
+		t.Fatal("bound against a down worker succeeded")
+	} else if got := err.Error(); got == "" {
+		t.Fatal("empty error")
+	}
+	// Fast-fail means no round trip: the request never reaches the
+	// (dead) server, so it cannot flip the failure ladder further.
+	info := c.Info()
+	if info.State != shard.ProbeDown || info.LastProbeErr == "" {
+		t.Fatalf("down worker info incomplete: %+v", info)
+	}
+
+	ds1.set(false)
+	waitFor(t, 2*time.Second, "probe to recover the worker", func() bool {
+		return c.Info().State == shard.ProbeUp
+	})
+	if _, err := c.Bound(context.Background(), 3, 2); err != nil {
+		t.Fatalf("bound after recovery failed: %v", err)
+	}
+}
+
+// ---------- worker handle lifecycle ----------
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data := new(bytes.Buffer)
+	if _, err := data.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, data.Bytes()
+}
+
+func openBound(t *testing.T, raw []byte) BoundResponse {
+	t.Helper()
+	payload, err := durable.Open(raw)
+	if err != nil {
+		t.Fatalf("open envelope: %v", err)
+	}
+	var br BoundResponse
+	if err := decodeStrict(payload, &br); err != nil {
+		t.Fatalf("decode bound response: %v", err)
+	}
+	return br
+}
+
+// TestWorkerHandleLifecycle: handles are single-use, bound 503s when
+// the pool is exhausted, and the TTL reaper reclaims abandoned engines.
+func TestWorkerHandleLifecycle(t *testing.T) {
+	ds := uniformDS(60, 7)
+	_, srv := startWorker(t, ds, 0, 2, 8.0, WorkerConfig{
+		Pool:        1,
+		HandleTTL:   40 * time.Millisecond,
+		AcquireWait: 10 * time.Millisecond,
+	}, nil)
+
+	// Take the only engine and pause it behind a handle.
+	resp, raw := postJSON(t, srv.URL+PathBound, BoundRequest{R: 3, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first bound: %d %s", resp.StatusCode, raw)
+	}
+	h1 := openBound(t, raw).Handle
+
+	// Pool exhausted: the next bound must answer 503, not hang.
+	resp, _ = postJSON(t, srv.URL+PathBound, BoundRequest{R: 3, K: 2})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("bound with exhausted pool: %d, want 503", resp.StatusCode)
+	}
+
+	// Past the TTL the reaper reclaims the engine...
+	time.Sleep(60 * time.Millisecond)
+	resp, raw = postJSON(t, srv.URL+PathBound, BoundRequest{R: 3, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bound after reap: %d %s", resp.StatusCode, raw)
+	}
+	h2 := openBound(t, raw).Handle
+
+	// ...which also voided the old handle.
+	resp, _ = postJSON(t, srv.URL+PathComplete, CompleteRequest{Handle: h1, Floor: 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("complete on reaped handle: %d, want 404", resp.StatusCode)
+	}
+
+	// The live handle completes exactly once.
+	resp, raw = postJSON(t, srv.URL+PathComplete, CompleteRequest{Handle: h2, Floor: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("complete: %d %s", resp.StatusCode, raw)
+	}
+	resp, _ = postJSON(t, srv.URL+PathComplete, CompleteRequest{Handle: h2, Floor: 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second complete on same handle: %d, want 404", resp.StatusCode)
+	}
+
+	// Release is idempotent best-effort: unknown handles are fine.
+	resp, _ = postJSON(t, srv.URL+PathRelease, ReleaseRequest{Handle: 999})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release unknown handle: %d, want 200", resp.StatusCode)
+	}
+
+	// Hostile requests: wrong method, malformed parameters.
+	get, err := http.Get(srv.URL + PathBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET bound: %d, want 405", get.StatusCode)
+	}
+	for _, bad := range []BoundRequest{{R: -1, K: 2}, {R: 3, K: 0}, {R: 100, K: 2}} {
+		resp, _ = postJSON(t, srv.URL+PathBound, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bound %+v: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

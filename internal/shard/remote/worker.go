@@ -1,0 +1,410 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"mio/internal/core"
+	"mio/internal/core/labelstore"
+	"mio/internal/data"
+	"mio/internal/durable"
+	"mio/internal/fault"
+	"mio/internal/shard"
+)
+
+// maxRequestBytes caps how much of a request body the worker reads;
+// bound/complete/release requests are a handful of scalars.
+const maxRequestBytes = 1 << 20
+
+// WorkerConfig configures one shard worker process.
+type WorkerConfig struct {
+	// Index is this worker's shard id in [0, Shards); Shards is the
+	// cluster's partition count (≥ 2). Both are baked into the stamp.
+	Index  int
+	Shards int
+	// MaxR is the replica horizon; it must match the coordinator's
+	// (both fold it into the generation). Default shard.DefaultMaxR.
+	MaxR float64
+	// Pool is the engine-pool size, which also bounds how many bound
+	// phases can be paused at once. Default 2.
+	Pool int
+	// HandleTTL is how long a paused bound phase may sit unresumed
+	// before its engine is reclaimed — the backstop for a coordinator
+	// that died between bound and complete. Default 30s.
+	HandleTTL time.Duration
+	// AcquireWait bounds how long a bound request waits for a free
+	// engine before answering 503. Default 500ms.
+	AcquireWait time.Duration
+	// Faults, when non-nil, drives the worker-side injection points
+	// (shard.run panics, stale-generation stamps, envelope corruption).
+	Faults *fault.Registry
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxR <= 0 {
+		c.MaxR = shard.DefaultMaxR
+	}
+	if c.Pool <= 0 {
+		c.Pool = 2
+	}
+	if c.HandleTTL <= 0 {
+		c.HandleTTL = 30 * time.Second
+	}
+	if c.AcquireWait <= 0 {
+		c.AcquireWait = 500 * time.Millisecond
+	}
+	return c
+}
+
+// pending is one paused bound phase: the BoundSet, the engine it is
+// tied to, and when the handle expires.
+type pending struct {
+	set     *core.BoundSet
+	eng     *core.Engine
+	expires time.Time
+}
+
+// Worker serves one shard of the dataset over HTTP. It partitions the
+// full dataset exactly as the coordinator does (BuildPartition is
+// deterministic), keeps a small engine pool with panic quarantine, and
+// stamps every response with its dataset generation.
+type Worker struct {
+	cfg     WorkerConfig
+	stamp   Stamp
+	ds      *data.Dataset // shard-local dataset
+	global  []int32       // local id → global id
+	primary []bool
+	opts    core.Options
+	faults  *fault.Registry
+
+	slots chan *core.Engine
+
+	mu      sync.Mutex
+	handles map[uint64]*pending
+	nextID  uint64
+}
+
+// NewWorker partitions ds for cfg.Index and builds the worker's engine
+// pool. opts is the engine template; a configured label store is
+// replaced with a fresh in-memory one (shard-local ids make a shared
+// store meaningless), and cfg.Faults overrides opts.Faults.
+func NewWorker(ds *data.Dataset, opts core.Options, cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Index < 0 || cfg.Index >= cfg.Shards {
+		return nil, fmt.Errorf("remote: shard index %d outside [0,%d)", cfg.Index, cfg.Shards)
+	}
+	part, err := shard.BuildPartition(ds, cfg.Shards, cfg.MaxR)
+	if err != nil {
+		return nil, err
+	}
+	local, primary := part.ShardDataset(ds, cfg.Index)
+	if opts.Labels != nil {
+		opts.Labels = labelstore.NewStore()
+	}
+	if cfg.Faults != nil {
+		opts.Faults = cfg.Faults
+	}
+	w := &Worker{
+		cfg:     cfg,
+		stamp:   Stamp{Generation: Generation(Fingerprint(ds), cfg.Shards, cfg.MaxR), Shard: cfg.Index, Shards: cfg.Shards},
+		ds:      local,
+		global:  part.Members[cfg.Index],
+		primary: primary,
+		opts:    opts,
+		faults:  cfg.Faults,
+		slots:   make(chan *core.Engine, cfg.Pool),
+		handles: make(map[uint64]*pending),
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		e, err := core.NewEngine(local, opts)
+		if err != nil {
+			return nil, fmt.Errorf("remote: shard %d engine: %w", cfg.Index, err)
+		}
+		w.slots <- e
+	}
+	return w, nil
+}
+
+// Stamp returns the worker's generation stamp.
+func (w *Worker) Stamp() Stamp { return w.stamp }
+
+// Close abandons every paused bound phase. The HTTP server's lifecycle
+// belongs to the caller.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, p := range w.handles {
+		delete(w.handles, id)
+		w.slots <- p.eng
+	}
+}
+
+// Handler returns the worker's HTTP handler.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathShardz, w.handleShardz)
+	mux.HandleFunc(PathBound, w.handleBound)
+	mux.HandleFunc(PathComplete, w.handleComplete)
+	mux.HandleFunc(PathRelease, w.handleRelease)
+	return mux
+}
+
+// reap releases engines held by expired handles — the lazy sweep run
+// at the top of every request, so an idle worker holds stale engines
+// no longer than TTL + one request gap.
+func (w *Worker) reap() {
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, p := range w.handles {
+		if now.After(p.expires) {
+			delete(w.handles, id)
+			w.slots <- p.eng
+		}
+	}
+}
+
+// acquire takes an engine slot, waiting up to AcquireWait.
+func (w *Worker) acquire(deadline <-chan struct{}) (*core.Engine, bool) {
+	select {
+	case e := <-w.slots:
+		return e, true
+	default:
+	}
+	t := time.NewTimer(w.cfg.AcquireWait)
+	defer t.Stop()
+	select {
+	case e := <-w.slots:
+		return e, true
+	case <-t.C:
+		return nil, false
+	case <-deadline:
+		return nil, false
+	}
+}
+
+// quarantine discards a panicked engine and refills its slot from the
+// template; if the rebuild fails the suspect engine goes back (a
+// possibly-tainted engine beats a leaked slot).
+func (w *Worker) quarantine(old *core.Engine) {
+	e, err := core.NewEngine(w.ds, w.opts)
+	if err != nil {
+		w.slots <- old
+		return
+	}
+	w.slots <- e
+}
+
+// respStamp is the stamp written into responses. The stale-generation
+// fault point perturbs it, simulating a worker that restarted onto
+// different data — the client must reject the answer, not merge it.
+func (w *Worker) respStamp() Stamp {
+	st := w.stamp
+	if w.faults.Fire(fault.PointStaleGen) != nil {
+		st.Generation++
+	}
+	return st
+}
+
+// writeError answers with a JSON error body (not enveloped: errors are
+// diagnostics, never merged).
+func writeError(rw http.ResponseWriter, code int, msg string) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(wireError{Error: msg})
+}
+
+// writeEnveloped seals v's JSON encoding in a durable envelope and
+// writes it. The net-corrupt fault point flips a payload byte after
+// sealing, so the client's CRC check — not luck — must catch it.
+func (w *Worker) writeEnveloped(rw http.ResponseWriter, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sealed := durable.Seal(payload)
+	if w.faults.Fire(fault.PointNetCorrupt) != nil && len(sealed) > durable.EnvelopeOverhead {
+		sealed[durable.EnvelopeOverhead] ^= 0xFF
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(sealed)
+}
+
+// readRequest strictly decodes a size-capped JSON request body.
+func readRequest(rw http.ResponseWriter, req *http.Request, v any) bool {
+	if req.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err.Error())
+		return false
+	}
+	if len(body) > maxRequestBytes {
+		writeError(rw, http.StatusRequestEntityTooLarge, "request body too large")
+		return false
+	}
+	if err := decodeStrict(body, v); err != nil {
+		writeError(rw, http.StatusBadRequest, err.Error())
+		return false
+	}
+	return true
+}
+
+func (w *Worker) handleShardz(rw http.ResponseWriter, req *http.Request) {
+	w.reap()
+	prim := 0
+	for _, p := range w.primary {
+		if p {
+			prim++
+		}
+	}
+	w.mu.Lock()
+	held := len(w.handles)
+	w.mu.Unlock()
+	w.writeEnveloped(rw, ShardzResponse{
+		Stamp:     w.respStamp(),
+		Objects:   len(w.global),
+		Primaries: prim,
+		Replicas:  len(w.global) - prim,
+		Handles:   held,
+	})
+}
+
+func (w *Worker) handleBound(rw http.ResponseWriter, req *http.Request) {
+	w.reap()
+	var br BoundRequest
+	if !readRequest(rw, req, &br) {
+		return
+	}
+	if math.IsNaN(br.R) || math.IsInf(br.R, 0) || br.R <= 0 {
+		writeError(rw, http.StatusBadRequest, fmt.Sprintf("r must be a positive finite number, got %g", br.R))
+		return
+	}
+	if br.R > w.cfg.MaxR {
+		writeError(rw, http.StatusBadRequest, fmt.Sprintf("r=%g exceeds the replica horizon %g", br.R, w.cfg.MaxR))
+		return
+	}
+	if br.K < 1 {
+		writeError(rw, http.StatusBadRequest, fmt.Sprintf("k must be at least 1, got %d", br.K))
+		return
+	}
+	eng, ok := w.acquire(req.Context().Done())
+	if !ok {
+		writeError(rw, http.StatusServiceUnavailable, "engine pool exhausted")
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			w.quarantine(eng)
+			writeError(rw, http.StatusInternalServerError, fmt.Sprintf("panic: %v", p))
+		}
+	}()
+	// Fired with the engine held, matching the in-process backend: a
+	// panic rule here must exercise the quarantine path.
+	if err := w.faults.Fire(fault.PointShardRun); err != nil {
+		w.slots <- eng
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	set, err := eng.Bound(req.Context(), br.R, br.K, w.primary)
+	if err != nil {
+		w.slots <- eng
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.mu.Lock()
+	w.nextID++
+	id := w.nextID
+	w.handles[id] = &pending{set: set, eng: eng, expires: time.Now().Add(w.cfg.HandleTTL)}
+	w.mu.Unlock()
+	w.writeEnveloped(rw, BoundResponse{
+		Stamp:  w.respStamp(),
+		Handle: id,
+		TopLBs: w.toGlobal(set.TopLBs()),
+		MaxUB:  set.MaxUB(),
+		Stats:  set.Stats(),
+	})
+}
+
+func (w *Worker) handleComplete(rw http.ResponseWriter, req *http.Request) {
+	w.reap()
+	var cr CompleteRequest
+	if !readRequest(rw, req, &cr) {
+		return
+	}
+	if cr.Floor < 0 {
+		writeError(rw, http.StatusBadRequest, fmt.Sprintf("floor must be non-negative, got %d", cr.Floor))
+		return
+	}
+	p, ok := w.takeHandle(cr.Handle)
+	if !ok {
+		writeError(rw, http.StatusNotFound, fmt.Sprintf("unknown or expired handle %d", cr.Handle))
+		return
+	}
+	released := false
+	defer func() {
+		if pan := recover(); pan != nil {
+			w.quarantine(p.eng)
+			writeError(rw, http.StatusInternalServerError, fmt.Sprintf("panic: %v", pan))
+			return
+		}
+		if !released {
+			w.slots <- p.eng
+		}
+	}()
+	res, err := p.set.Complete(req.Context(), cr.Floor)
+	w.slots <- p.eng
+	released = true
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.writeEnveloped(rw, CompleteResponse{
+		Stamp: w.respStamp(),
+		TopK:  w.toGlobal(res.TopK),
+		Stats: res.Stats,
+	})
+}
+
+func (w *Worker) handleRelease(rw http.ResponseWriter, req *http.Request) {
+	w.reap()
+	var rr ReleaseRequest
+	if !readRequest(rw, req, &rr) {
+		return
+	}
+	if p, ok := w.takeHandle(rr.Handle); ok {
+		w.slots <- p.eng
+	}
+	w.writeEnveloped(rw, struct{}{})
+}
+
+// takeHandle removes and returns a paused bound phase. Single-use:
+// complete and release both consume the handle.
+func (w *Worker) takeHandle(id uint64) (*pending, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p, ok := w.handles[id]
+	if ok {
+		delete(w.handles, id)
+	}
+	return p, ok
+}
+
+// toGlobal maps shard-local ids to global ids, preserving canonical
+// order (Members is ascending, so local order ≡ global order on ties).
+func (w *Worker) toGlobal(list []core.Scored) []core.Scored {
+	out := make([]core.Scored, len(list))
+	for i, s := range list {
+		out[i] = core.Scored{Obj: int(w.global[s.Obj]), Score: s.Score}
+	}
+	return out
+}

@@ -1,24 +1,21 @@
 package shard
 
 import (
-	"context"
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
 
-	"mio/internal/core"
-	"mio/internal/data"
 	"mio/internal/server/breaker"
 )
 
 // ErrBreakerOpen marks a shard attempt refused by its open circuit
 // breaker: the shard is treated as down for this query without paying
-// an engine run, and recovers through the breaker's half-open probe.
+// an engine run (or a network round trip), and recovers through the
+// breaker's half-open probe.
 var ErrBreakerOpen = errors.New("shard: breaker open")
 
-// poolPerShard is each shard's default engine-pool size
+// poolPerShard is each in-process shard's default engine-pool size
 // (Config.Pool overrides it). Two slots let a hedged attempt run
 // while the original straggles; one coordinator query never starts
 // more than two attempts at once per shard, but a caller serving
@@ -32,19 +29,14 @@ const poolPerShard = 2
 // thresholds, so eviction is effectively never hit.
 const envelopeCap = 128
 
-// Shard is one space partition: a local dataset (primaries + halo
-// replicas), a small engine pool with panic quarantine, a circuit
+// Shard is the coordinator's per-shard control block: a transport
+// backend (in-process engine pool or remote HTTP worker), a circuit
 // breaker, and the last-known upper-bound envelope that certifies
 // degraded answers when the shard cannot be reached.
 type Shard struct {
 	id      int
-	ds      *data.Dataset
-	global  []int32 // local id → global id
-	primary []bool
-	opts    core.Options // engine template (per-shard label store)
-
-	slots chan *core.Engine
-	br    *breaker.Breaker
+	backend Backend
+	br      *breaker.Breaker
 
 	mu        sync.Mutex
 	lastErr   string
@@ -52,58 +44,14 @@ type Shard struct {
 	envelope  map[float64]int // query radius → MaxUB recorded at it
 }
 
-// newShard builds shard id over its local dataset with a pool of
-// pool engines.
-func newShard(id, pool int, ds *data.Dataset, global []int32, primary []bool, opts core.Options, brThreshold int, brCooldown time.Duration) (*Shard, error) {
-	sh := &Shard{
+// newShard wraps backend as shard id.
+func newShard(id int, backend Backend, brThreshold int, brCooldown time.Duration) *Shard {
+	return &Shard{
 		id:       id,
-		ds:       ds,
-		global:   global,
-		primary:  primary,
-		opts:     opts,
-		slots:    make(chan *core.Engine, pool),
+		backend:  backend,
 		br:       breaker.New(brThreshold, brCooldown),
 		envelope: make(map[float64]int, 8),
 	}
-	for i := 0; i < pool; i++ {
-		e, err := core.NewEngine(ds, opts)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", id, err)
-		}
-		sh.slots <- e
-	}
-	return sh, nil
-}
-
-// acquire takes an engine slot, waiting on ctx.
-func (sh *Shard) acquire(ctx context.Context) (*core.Engine, error) {
-	select {
-	case e := <-sh.slots:
-		return e, nil
-	default:
-	}
-	select {
-	case e := <-sh.slots:
-		return e, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// release returns an engine to the pool.
-func (sh *Shard) release(e *core.Engine) { sh.slots <- e }
-
-// quarantine discards a panicked engine and refills its slot with a
-// fresh one built from the shard's template — the same refill
-// discipline the server pool uses. If the rebuild fails the suspect
-// engine goes back: a possibly-tainted engine beats a leaked slot.
-func (sh *Shard) quarantine(old *core.Engine) {
-	e, err := core.NewEngine(sh.ds, sh.opts)
-	if err != nil {
-		sh.slots <- old
-		return
-	}
-	sh.slots <- e
 }
 
 // noteError records the shard's most recent failure for /healthz.
@@ -157,17 +105,31 @@ func (sh *Shard) envelopeUB(r float64) (int, bool) {
 	return best, ok
 }
 
-// Health is one shard's status line in /healthz.
+// Health is one shard's status line in /healthz: what the shard holds,
+// how reachable it is, and why answers might be degrading.
 type Health struct {
-	ID        int    `json:"id"`
-	Objects   int    `json:"objects"`
-	Primaries int    `json:"primaries"`
-	Replicas  int    `json:"replicas"`
-	Breaker   string `json:"breaker"`
+	ID        int `json:"id"`
+	Objects   int `json:"objects"`
+	Primaries int `json:"primaries"`
+	Replicas  int `json:"replicas"`
+	// State is the shard's liveness: the health prober's view for
+	// remote workers (up/suspect/down), derived from the breaker for
+	// in-process shards.
+	State   string `json:"state"`
+	Breaker string `json:"breaker"`
+	// Addr and Generation identify a remote worker and the dataset
+	// generation the coordinator expects of it; absent for in-process
+	// shards.
+	Addr       string `json:"addr,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 	// LastError is the most recent attempt failure ("" when the shard
 	// has never failed); LastErrorAgoS is how long ago it happened.
 	LastError     string  `json:"last_error,omitempty"`
 	LastErrorAgoS float64 `json:"last_error_ago_s,omitempty"`
+	// LastProbeError / LastProbeAgoS report the remote health prober's
+	// most recent failure and probe recency.
+	LastProbeError string  `json:"last_probe_error,omitempty"`
+	LastProbeAgoS  float64 `json:"last_probe_ago_s,omitempty"`
 	// EnvelopeRadii counts the radii with a recorded upper-bound
 	// envelope — the shard's degradation safety net.
 	EnvelopeRadii int `json:"envelope_radii"`
@@ -178,23 +140,37 @@ func (sh *Shard) health() Health {
 	sh.mu.Lock()
 	lastErr, lastAt, envN := sh.lastErr, sh.lastErrAt, len(sh.envelope)
 	sh.mu.Unlock()
-	prim := 0
-	for _, p := range sh.primary {
-		if p {
-			prim++
-		}
-	}
+	info := sh.backend.Info()
 	h := Health{
-		ID:            sh.id,
-		Objects:       len(sh.global),
-		Primaries:     prim,
-		Replicas:      len(sh.global) - prim,
-		Breaker:       sh.br.State().String(),
-		LastError:     lastErr,
-		EnvelopeRadii: envN,
+		ID:             sh.id,
+		Objects:        info.Objects,
+		Primaries:      info.Primaries,
+		Replicas:       info.Replicas,
+		State:          info.State,
+		Breaker:        sh.br.State().String(),
+		Addr:           info.Addr,
+		Generation:     info.Generation,
+		LastError:      lastErr,
+		LastProbeError: info.LastProbeErr,
+		EnvelopeRadii:  envN,
+	}
+	if h.State == "" {
+		// In-process shards have no prober; the breaker is the liveness
+		// signal operators get.
+		switch sh.br.State().String() {
+		case "open":
+			h.State = ProbeDown
+		case "half-open":
+			h.State = ProbeSuspect
+		default:
+			h.State = ProbeUp
+		}
 	}
 	if lastErr != "" {
 		h.LastErrorAgoS = time.Since(lastAt).Seconds()
+	}
+	if info.LastProbeAgo >= 0 && (info.Addr != "" || info.LastProbeErr != "") {
+		h.LastProbeAgoS = info.LastProbeAgo.Seconds()
 	}
 	return h
 }
